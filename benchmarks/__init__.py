@@ -1,0 +1,5 @@
+"""Benchmark package: one benchmark per paper table/figure plus ablations.
+
+The package marker lets ``pytest benchmarks/`` resolve the shared
+``benchmarks.conftest`` helpers regardless of how pytest is invoked.
+"""

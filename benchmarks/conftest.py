@@ -1,0 +1,20 @@
+"""Shared benchmark configuration.
+
+Each benchmark regenerates one of the paper's evaluation artifacts (see
+DESIGN.md section 4 for the experiment index) and asserts the *shape* of
+the paper's claim — who dominates, who wins, which way a trend runs.
+Workload construction happens outside the timed region, mirroring the
+paper's ROI discipline; heavy experiments run a single round.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark ``fn`` with exactly one timed execution.
+
+    The suite's kernels are macro-benchmarks (0.1 s - 10 s); statistical
+    repetition belongs to a dedicated performance rig, not the CI gate.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,22 @@
+"""Benchmark F15 — Fig. 15: DMP trajectory and velocity generation.
+
+The paper's figure shows the DMP-generated trajectory tracking the
+demonstrated reference (left) and the corresponding oscillating velocity
+profile (right).  The benchmark asserts both properties.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures_control import run_fig15_dmp
+
+
+def test_fig15_dmp_tracks_reference(benchmark):
+    fig = run_once(benchmark, run_fig15_dmp, seed=0)
+    # Trajectory: tracks a ~15 m S-curve within ~1 m RMS and nails the end.
+    assert fig.rms_error < 1.2
+    assert fig.endpoint_error < 0.3
+    # Velocity: a real profile — bounded speed, with the lateral
+    # oscillations the S-curve demands (Fig. 15 right panel).
+    assert 0.0 < fig.max_velocity < 60.0
+    assert fig.velocity_sign_changes >= 2
+    benchmark.extra_info["rms_error"] = round(fig.rms_error, 3)
+    benchmark.extra_info["endpoint_error"] = round(fig.endpoint_error, 4)

@@ -1,0 +1,22 @@
+"""Benchmark F18 — Fig. 18: CEM reward over learning.
+
+The paper runs CEM "for five iterations and draw[s] fifteen samples in
+every iteration" on the ball-throwing robot and shows reward improving
+(higher is better) over the samples.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures_control import run_fig18_cem
+
+
+def test_fig18_cem_reward_improves(benchmark):
+    curve = run_once(benchmark, run_fig18_cem, seed=0)
+    assert len(curve.reward_history) == 5  # the paper's 5 iterations
+    # Reward (negative landing error) improves and ends near-perfect.
+    assert curve.best_reward >= curve.first_reward
+    assert curve.best_reward > -0.5  # within half a meter of the goal
+    # Monotone-ish improvement: the last iteration beats the first.
+    assert curve.reward_history[-1] >= curve.reward_history[0]
+    benchmark.extra_info["reward_history"] = [
+        round(r, 4) for r in curve.reward_history
+    ]

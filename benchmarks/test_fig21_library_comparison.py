@@ -1,0 +1,42 @@
+"""Benchmark F21 — Fig. 21: performance vs educational libraries.
+
+The paper compares its optimized pp2d against PythonRobotics (357x-3469x
+slower) and CppRobotics (74x-13576x slower) on the educational demo map
+scaled by factors 1..64, showing the educational implementations are
+"far from real-time" and fall further behind as the map grows.
+
+Here both contestants run in CPython (see DESIGN.md section 2), so the
+asserted shape is: a large constant-factor gap (>10x) that *grows* with
+map scale, plus near-real-time absolute numbers for the optimized
+planner on the base map.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig21_comparison import run_fig21
+
+
+def test_fig21_speedup_grows_with_scale(benchmark):
+    points = run_once(
+        benchmark, run_fig21, scales=[1, 2, 4, 8], educational_max_scale=2
+    )
+    with_baseline = [p for p in points if p.speedup is not None]
+    assert len(with_baseline) == 2
+    # Orders-of-magnitude class gap even inside one runtime.
+    assert with_baseline[0].speedup > 10.0
+    # The gap grows with scale (the paper's central trend).
+    assert with_baseline[1].speedup > with_baseline[0].speedup
+    # The optimized planner is near-real-time on the base map.
+    assert points[0].optimized_time < 0.1
+    # And its own scaling is sane: superlinear in cells but far from the
+    # educational baseline's blow-up.
+    assert points[-1].optimized_time < 5.0
+    benchmark.extra_info["optimized_times"] = [
+        f"{p.optimized_time:.3e}" for p in points
+    ]
+    benchmark.extra_info["educational_times"] = [
+        f"{p.educational_time:.3e}" if p.educational_time else "skipped"
+        for p in points
+    ]
+    benchmark.extra_info["speedups"] = [
+        round(p.speedup, 1) if p.speedup else None for p in points
+    ]

@@ -1,0 +1,34 @@
+"""Benchmark F2 — Fig. 2: particle filter convergence.
+
+The paper evaluates pfl in five different parts of the Wean Hall
+building; Fig. 2 shows the particle cloud collapsing from building-wide
+uncertainty onto the robot's pose.  The benchmark runs all five regions
+and asserts the cloud converges (spread drops by >=10x) in at least four
+of them — global localization in self-similar corridors can legitimately
+lock a minority of runs onto a symmetric mode.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures_perception import run_fig2_pfl
+
+
+def test_fig2_particle_convergence(benchmark):
+    results = run_once(benchmark, run_fig2_pfl, n_regions=5)
+    assert len(results) == 5
+    converged = [r for r in results if r.converged]
+    assert len(converged) >= 4, [
+        (r.region, r.spread_before, r.spread_after) for r in results
+    ]
+    # In converged regions, spread collapses from building scale (~10 m+)
+    # to sub-meter.
+    for r in converged:
+        assert r.spread_before > 5.0
+        assert r.spread_after < 1.0
+    # At least three regions also localize near the true pose (the
+    # remainder may converge to a symmetric corridor mode).
+    accurate = [r for r in converged if r.final_error < 2.0]
+    assert len(accurate) >= 3
+    benchmark.extra_info["spreads_after"] = [
+        round(r.spread_after, 3) for r in results
+    ]
+    benchmark.extra_info["errors"] = [round(r.final_error, 2) for r in results]

@@ -1,0 +1,27 @@
+"""Benchmark F3 — Fig. 3: EKF-SLAM on the six-landmark loop.
+
+The paper's figure shows the filter recovering the robot trajectory
+(blue) and the six landmark positions (green) under Gaussian measurement
+noise, with uncertainty ellipses (red) quantifying the remaining doubt.
+The benchmark asserts all of that quantitatively.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures_perception import run_fig3_ekfslam
+
+
+def test_fig3_ekfslam_estimates(benchmark):
+    fig = run_once(benchmark, run_fig3_ekfslam, seed=0)
+    # Localization: final pose error well under a meter on a ~50 m loop.
+    assert fig.final_pose_error < 0.5
+    # Mapping: all six landmarks placed, each within a meter.
+    assert len(fig.landmark_uncertainties) == 6
+    assert fig.mean_landmark_error < 0.5
+    # Uncertainty is finite and small (the red ellipses shrink with
+    # evidence; landmarks start at effectively infinite covariance).
+    assert all(u < 1.0 for u in fig.landmark_uncertainties)
+    assert fig.final_pose_uncertainty < 1.0
+    benchmark.extra_info["final_pose_error"] = round(fig.final_pose_error, 4)
+    benchmark.extra_info["mean_landmark_error"] = round(
+        fig.mean_landmark_error, 4
+    )

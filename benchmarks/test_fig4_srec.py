@@ -1,0 +1,24 @@
+"""Benchmark F4 — Fig. 4: ICP scene reconstruction of the living room.
+
+The paper's figure shows the scene reconstructed from the robot's scans.
+With simulated scans we can assert what the figure can only show: the
+estimated camera poses track ground truth and the fused model lies on
+the true scene surface.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures_perception import run_fig4_srec
+
+
+def test_fig4_scene_reconstruction(benchmark):
+    fig = run_once(benchmark, run_fig4_srec, seed=0)
+    # Registration: every frame's estimated camera position within 5 cm.
+    assert all(e < 0.05 for e in fig.pose_errors), fig.pose_errors
+    # The fused model hugs the true scene surface.
+    assert fig.model_rms_to_scene < 0.05
+    assert fig.model_points > 1000
+    benchmark.extra_info["final_pose_error"] = round(fig.final_pose_error, 4)
+    benchmark.extra_info["model_points"] = fig.model_points
+    benchmark.extra_info["model_rms_to_scene"] = round(
+        fig.model_rms_to_scene, 4
+    )

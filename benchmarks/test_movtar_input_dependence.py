@@ -1,0 +1,34 @@
+"""Benchmark E6 — movtar's input-dependent bottleneck (section V.6).
+
+The paper: "The performance of the kernel is largely dependent on the
+inputset.  In large environments, the kernel exhibits virtually the same
+characteristics as pp3d.  In small environments, however, ... the
+contribution of the heuristic calculation latency ... grows up to 62%."
+
+The benchmark sweeps environment size and asserts the *direction* of the
+trend: the backward-Dijkstra precompute share is largest in the smallest
+environment and decays as the environment (and therefore the search)
+grows.  The absolute 62% depends on the C++ search's per-expansion cost
+relative to Dijkstra's per-cell cost; the Python balance differs (noted
+in EXPERIMENTS.md).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures_planning import run_movtar_input_dependence
+
+
+def test_movtar_bottleneck_is_input_dependent(benchmark):
+    points = run_once(benchmark, run_movtar_input_dependence, seed=0)
+    assert len(points) == 4
+    shares = [p.heuristic_share for p in points]
+    # Strictly input-dependent: small env has the largest heuristic share,
+    # and the share decays monotonically from the smallest to the largest
+    # environment.
+    assert shares[0] == max(shares)
+    assert shares[0] > 2.0 * shares[-1]
+    # Large environments are search-bound, like pp3d.
+    assert points[-1].search_share > 0.8
+    benchmark.extra_info["heuristic_shares"] = [round(s, 3) for s in shares]
+    benchmark.extra_info["environments"] = [
+        f"{p.rows}x{p.cols}" for p in points
+    ]

@@ -1,0 +1,36 @@
+"""Benchmark E9/E10 — RRT vs RRT* vs RRT+shortcutting (sections V.9-V.10).
+
+Paper claims reproduced in shape:
+* RRT* is significantly slower than RRT (paper: up to 8x) ...
+* ... but produces shorter paths (paper: 1.6x on average);
+* RRT with post-processing lands between them in path cost, at little
+  extra time over RRT.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures_planning import run_rrt_family
+
+
+def test_rrt_family_time_quality_tradeoff(benchmark):
+    comparison = run_once(benchmark, run_rrt_family, seeds=[1, 2, 4, 5, 7])
+    assert len(comparison.seeds) >= 3, "too few matched successes"
+    # E9: slower but shorter.
+    slowdown = comparison.slowdown()
+    cost_ratio = comparison.cost_ratio()
+    assert slowdown > 1.5, f"RRT* only {slowdown:.1f}x slower"
+    assert cost_ratio > 1.2, f"RRT* paths only {cost_ratio:.2f}x shorter"
+    # E10: rrtpp cost between rrtstar and rrt; time closer to rrt.
+    assert comparison.rrtpp_between()
+    rrtpp_time = float(np.mean(comparison.rrtpp_times))
+    rrtstar_time = float(np.mean(comparison.rrtstar_times))
+    assert rrtpp_time < rrtstar_time
+    benchmark.extra_info["matched_seeds"] = comparison.seeds
+    benchmark.extra_info["rrtstar_slowdown"] = round(slowdown, 2)
+    benchmark.extra_info["cost_ratio_rrt_over_rrtstar"] = round(cost_ratio, 2)
+    benchmark.extra_info["mean_costs"] = {
+        "rrt": round(float(np.mean(comparison.rrt_costs)), 2),
+        "rrtpp": round(float(np.mean(comparison.rrtpp_costs)), 2),
+        "rrtstar": round(float(np.mean(comparison.rrtstar_costs)), 2),
+    }

@@ -1,0 +1,30 @@
+"""Benchmark T1 — the paper's Table I workload characterization.
+
+One benchmark per kernel: runs the kernel at its characterization
+configuration and asserts the phases the paper names as the bottleneck
+jointly dominate the measured breakdown.  This single file covers the
+per-kernel evaluation claims E1-E5, E7, E8, and E14 (the quantitative
+bottleneck shares quoted in section V).
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.characterization import (
+    EXPECTATIONS,
+    characterize_kernel,
+)
+
+
+@pytest.mark.parametrize(
+    "expectation", EXPECTATIONS, ids=[e.kernel for e in EXPECTATIONS]
+)
+def test_kernel_characterization(benchmark, expectation):
+    row = run_once(benchmark, characterize_kernel, expectation)
+    assert row.matches_paper, (
+        f"{row.kernel}: paper claims {expectation.paper_bottleneck!r}; "
+        f"measured {row.fractions}"
+    )
+    benchmark.extra_info["dominant_phase"] = row.dominant_phase
+    benchmark.extra_info["claimed_phase_share"] = round(row.combined_share, 3)
+    benchmark.extra_info["paper_bottleneck"] = row.paper_bottleneck

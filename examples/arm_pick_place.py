@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""High-DoF arm pick-and-place: PRM vs RRT vs RRT* vs RRT+shortcut.
+
+A 5-DoF manipulator in the paper's cluttered Map-C workspace must move
+between two configurations.  This example runs all four sampling-based
+planners from the suite (kernels 07-10) on the *same* query and compares:
+
+* wall-clock planning time,
+* path cost (joint-space length),
+* where each planner spends its time (collision vs nearest-neighbor),
+
+reproducing section V.8-V.10's narrative: RRT is fast but crude, RRT* is
+slow but short, shortcutting lands in between, and PRM amortizes an
+offline roadmap.
+
+Run:  python examples/arm_pick_place.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.envs.arm_maps import default_arm, map_c
+from repro.geometry.distance import path_length
+from repro.harness.profiler import PhaseProfiler
+from repro.planning.prm import ProbabilisticRoadmap, distant_free_pair
+from repro.planning.rrt import RRT
+from repro.planning.rrt_postprocess import shortcut_path
+from repro.planning.rrt_star import RRTStar
+
+
+def main() -> None:
+    workspace = map_c()
+    arm = default_arm()
+    rng = np.random.default_rng(2)
+    start, goal = distant_free_pair(arm, workspace, rng)
+    print(f"Workspace: {workspace.name} "
+          f"({len(workspace.obstacles)} obstacles)")
+    print(f"Query: |goal - start| = {np.linalg.norm(goal - start):.2f} rad "
+          f"in {arm.dof}-D joint space\n")
+
+    rows = []
+
+    # --- PRM: offline roadmap, online query --------------------------------
+    prof = PhaseProfiler()
+    roadmap = ProbabilisticRoadmap(arm, workspace, k_neighbors=8,
+                                   profiler=prof)
+    t0 = time.perf_counter()
+    roadmap.build(300, np.random.default_rng(0))
+    offline = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    result, waypoints = roadmap.query(start, goal)
+    online = time.perf_counter() - t0
+    cost = path_length(np.vstack(waypoints)) if result.found else float("inf")
+    rows.append(("prm (online)", online, cost, prof))
+    print(f"PRM offline build: {offline:.2f}s for {roadmap.n_nodes} nodes / "
+          f"{roadmap.n_edges} edges (paid once)")
+
+    # --- the RRT family ------------------------------------------------------
+    for label, planner_cls, kwargs in (
+        ("rrt", RRT, dict(max_samples=4000, goal_threshold=0.8)),
+        ("rrtstar", RRTStar, dict(max_samples=4000, goal_threshold=0.8)),
+    ):
+        prof = PhaseProfiler()
+        planner = planner_cls(arm, workspace, rng=np.random.default_rng(1),
+                              profiler=prof, **kwargs)
+        t0 = time.perf_counter()
+        result = planner.plan(start, goal)
+        elapsed = time.perf_counter() - t0
+        rows.append((label, elapsed,
+                     result.cost if result.found else float("inf"), prof))
+        if label == "rrt" and result.found:
+            # Post-process the RRT path (kernel 10).
+            prof_pp = PhaseProfiler()
+            t0 = time.perf_counter()
+            improved = shortcut_path(arm, workspace, result.path,
+                                     iterations=150,
+                                     rng=np.random.default_rng(3),
+                                     profiler=prof_pp)
+            pp_time = elapsed + (time.perf_counter() - t0)
+            rows.append(("rrtpp", pp_time,
+                         path_length(np.vstack(improved)), prof_pp))
+
+    print(f"\n{'planner':<14}{'time':>9}{'path cost':>12}  dominant phase")
+    print("-" * 55)
+    for label, elapsed, cost, prof in rows:
+        dominant = prof.dominant_phase() or "-"
+        share = prof.fraction(dominant) if dominant != "-" else 0.0
+        cost_text = f"{cost:.2f}" if np.isfinite(cost) else "(failed)"
+        print(f"{label:<14}{elapsed:>8.2f}s{cost_text:>12}  "
+              f"{dominant} ({share:.0%})")
+
+    print("\nPaper section V.9-V.10: RRT* runs longest but returns the")
+    print("shortest path; shortcutting recovers most of that quality for")
+    print("a fraction of the cost; collision checks and nearest-neighbor")
+    print("search dominate all of them.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's evaluation artifacts as one text report.
+
+Runs every experiment in the registry (Table I characterization, the
+perception/planning/control figures, and the Fig. 21 library comparison)
+and prints a paper-vs-measured report.  This is the script behind
+EXPERIMENTS.md — run it after changing kernels to refresh the record.
+
+Run:  python examples/benchmark_report.py            (full, ~2-4 min)
+      python examples/benchmark_report.py --quick    (subset, ~40 s)
+"""
+
+import sys
+import time
+
+import numpy as np
+
+from repro.experiments.characterization import (
+    render_characterization,
+    run_characterization,
+)
+from repro.experiments.fig21_comparison import render_fig21, run_fig21
+from repro.experiments.figures_control import (
+    run_bo_vs_cem,
+    run_fig15_dmp,
+    run_fig18_cem,
+    run_fig19_bo,
+)
+from repro.experiments.figures_perception import (
+    render_fig2,
+    run_fig2_pfl,
+    run_fig3_ekfslam,
+    run_fig4_srec,
+)
+from repro.experiments.figures_planning import (
+    render_movtar,
+    render_rrt_family,
+    run_movtar_input_dependence,
+    run_rrt_family,
+    run_symbolic_branching,
+)
+
+
+def banner(title: str) -> None:
+    print(f"\n{'=' * 70}\n{title}\n{'=' * 70}")
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    t_start = time.time()
+
+    banner("T1 - Table I: workload characterization")
+    kernels = ["02.ekfslam", "04.pp2d", "14.mpc"] if quick else None
+    print(render_characterization(run_characterization(kernels)))
+
+    banner("F2 - Fig. 2: particle filter convergence (5 building regions)")
+    print(render_fig2(run_fig2_pfl(n_regions=2 if quick else 5)))
+
+    banner("F3 - Fig. 3: EKF-SLAM estimates and uncertainty")
+    fig3 = run_fig3_ekfslam()
+    print(f"final pose error:      {fig3.final_pose_error:.3f} m")
+    print(f"mean landmark error:   {fig3.mean_landmark_error:.3f} m")
+    print(f"final pose uncertainty (sqrt tr cov): "
+          f"{fig3.final_pose_uncertainty:.3f} m")
+
+    banner("F4 - Fig. 4: ICP scene reconstruction")
+    fig4 = run_fig4_srec()
+    print(f"per-frame pose errors: "
+          f"{', '.join(f'{e:.3f}' for e in fig4.pose_errors)} m")
+    print(f"fused model: {fig4.model_points} points, "
+          f"RMS to true scene {fig4.model_rms_to_scene:.3f} m")
+
+    banner("E6 - movtar: input-dependent bottleneck")
+    print(render_movtar(run_movtar_input_dependence()))
+
+    if not quick:
+        banner("E9/E10 - RRT vs RRT* vs RRT+shortcut")
+        print(render_rrt_family(run_rrt_family()))
+
+    banner("E11 - symbolic branching (sym-fext vs sym-blkw)")
+    branching = run_symbolic_branching()
+    print(f"sym-blkw branching: {branching.blkw_branching:.2f}")
+    print(f"sym-fext branching: {branching.fext_branching:.2f}")
+    print(f"ratio: {branching.ratio:.1f}x (paper: ~3.2x)")
+
+    banner("F15 - Fig. 15: DMP trajectory generation")
+    fig15 = run_fig15_dmp()
+    print(f"RMS tracking error:  {fig15.rms_error:.3f} m")
+    print(f"endpoint error:      {fig15.endpoint_error:.3f} m")
+    print(f"peak speed:          {fig15.max_velocity:.2f} m/s; lateral "
+          f"velocity oscillations: {fig15.velocity_sign_changes}")
+
+    banner("F18/F19/E16 - CEM and BO policy learning")
+    cem = run_fig18_cem()
+    bo = run_fig19_bo()
+    ratio = run_bo_vs_cem()
+    print(f"CEM best reward over 5x15:   {cem.best_reward:.4f} "
+          f"(history: {np.round(cem.reward_history, 3).tolist()})")
+    print(f"BO best reward over 45 iter: {bo.best_reward:.4f}")
+    print(f"BO/CEM compute ratio: {ratio.time_ratio:.0f}x; "
+          f"sort volume ratio: {ratio.sort_ratio:.0f}x (paper: ~6x)")
+
+    banner("F21 - library comparison (optimized vs educational A*)")
+    scales = [1, 2] if quick else [1, 2, 4, 8]
+    print(render_fig21(run_fig21(scales=scales, educational_max_scale=2)))
+
+    print(f"\nTotal report time: {time.time() - t_start:.0f}s")
+
+
+if __name__ == "__main__":
+    main()

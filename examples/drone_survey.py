@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""A survey drone over the campus: 3D planning + moving-target pursuit.
+
+Two planning problems from the paper's aerial-robot kernels:
+
+1. **Transit** (kernel 05): the drone crosses the campus volume with 3D
+   A*, flying over buildings and under the overpass as the geometry
+   demands.
+2. **Pursuit** (kernel 06): a ground vehicle with a known patrol route
+   must be intercepted at minimum accumulated cost; the planner
+   precomputes its backward-Dijkstra heuristic and searches in
+   (x, y, time).
+
+The second part also demonstrates the paper's "input-dependent" claim:
+the same pursuit on a small arena is dominated by heuristic
+precomputation, while the large arena is search-bound.
+
+Run:  python examples/drone_survey.py
+"""
+
+import numpy as np
+
+from repro.envs.costmap import synthetic_costmap, target_trajectory
+from repro.envs.mapgen import campus_like_3d
+from repro.harness.profiler import PhaseProfiler
+from repro.planning.moving_target import MovingTargetPlanner, free_start_far_from
+from repro.planning.pp3d import far_apart_free_voxels, plan_3d
+
+
+def transit() -> None:
+    print("[1/2] TRANSIT - 3D A* across the campus")
+    grid = campus_like_3d(nx=96, ny=96, nz=24, seed=0)
+    start, goal = far_apart_free_voxels(grid)
+    profiler = PhaseProfiler()
+    result = plan_3d(grid, start, goal, profiler=profiler)
+    if not result.found:
+        raise RuntimeError("campus transit blocked")
+    altitudes = [z for z, _, _ in result.path]
+    print(f"  path: {len(result.path)} voxels, {result.cost:.1f} m, "
+          f"{result.expansions} expansions")
+    print(f"  altitude profile: min {min(altitudes)} max {max(altitudes)} "
+          f"(climbs where buildings block)")
+    fracs = profiler.fractions()
+    print(f"  time split: search {fracs.get('search', 0):.0%}, "
+          f"collision {fracs.get('collision', 0):.0%}, "
+          f"heuristic {fracs.get('heuristic', 0):.0%}")
+
+
+def pursue(rows: int, cols: int, horizon: int, label: str) -> None:
+    field = synthetic_costmap(rows=rows, cols=cols, seed=1)
+    trajectory = target_trajectory(field, horizon, seed=1)
+    start = free_start_far_from(field, tuple(trajectory[0]),
+                                np.random.default_rng(4))
+    profiler = PhaseProfiler()
+    planner = MovingTargetPlanner(field, trajectory, epsilon=2.0,
+                                  profiler=profiler)
+    planner.precompute_heuristic()
+    result = planner.plan(start)
+    fracs = profiler.fractions()
+    status = "intercepted" if result.found else "escaped"
+    catch_time = result.path[-1][2] if result.found else "-"
+    print(f"  {label:<18} target {status} at t={catch_time}; "
+          f"heuristic precompute {fracs.get('heuristic_precompute', 0):.0%} "
+          f"vs search {fracs.get('search', 0) + fracs.get('heuristic', 0):.0%}")
+
+
+def main() -> None:
+    transit()
+    print("\n[2/2] PURSUIT - catching the patrol vehicle (kernel 06)")
+    pursue(24, 24, 48, "small arena:")
+    pursue(96, 96, 256, "large arena:")
+    print("\nPaper section V.6: the bottleneck is input-dependent — the")
+    print("small arena pays mostly for the backward-Dijkstra heuristic,")
+    print("the large one for the (x, y, time) graph search.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Symbolic planning: the firefighter mission, written as text.
+
+The paper's Fig. 14 describes the firefighting problem in a compact
+symbolic notation; this example feeds (a self-contained version of) that
+notation straight into the suite's parser, plans with three different
+heuristics, and narrates the winning plan step by step — the
+"one symbolic planner can solve any problem described in the language"
+promise, exercised end to end.
+
+Run:  python examples/firefighter_mission.py
+"""
+
+import time
+
+from repro.planning.symbolic.parser import parse_problem_text
+from repro.planning.symbolic.planner import SymbolicPlanner, execute_plan
+
+MISSION = """
+Symbols: L1, L2, L3, W, F
+Initial conditions: Loc(L1), Loc(L2), Loc(L3), Loc(W), Loc(F),
+    AtR(L1), AtQ(L2), InAir, EmptyTank, BattHigh, ExtZero(F)
+Goal conditions: ExtOne(F)
+Actions:
+  MoveToLoc(x, y)
+    Preconditions: Loc(x), Loc(y), AtR(x), InAir
+    Effects: AtR(y), !AtR(x)
+  MoveTogether(x, y)
+    Preconditions: Loc(x), Loc(y), AtR(x), AtQ(x), OnRob
+    Effects: AtR(y), AtQ(y), !AtR(x), !AtQ(x)
+  Land(x)
+    Preconditions: Loc(x), AtQ(x), AtR(x), InAir
+    Effects: OnRob, !InAir
+  FillWater()
+    Preconditions: OnRob, EmptyTank, AtR(W), AtQ(W)
+    Effects: FullTank, !EmptyTank
+  PourWater()
+    Preconditions: OnRob, FullTank, BattHigh, AtR(F), AtQ(F), ExtZero(F)
+    Effects: ExtOne(F), !ExtZero(F), EmptyTank, !FullTank, BattLow, !BattHigh
+"""
+
+NARRATION = {
+    "MoveToLoc": "the rover drives alone from {0} to {1}",
+    "MoveTogether": "the rover carries the quadcopter from {0} to {1}",
+    "Land": "the quadcopter lands on the rover at {0}",
+    "FillWater": "the quadcopter fills its tank at the water source",
+    "PourWater": "the quadcopter pours water on the fire",
+}
+
+
+def narrate(step: str) -> str:
+    name, _, rest = step.partition("(")
+    args = rest[:-1].split(",") if rest else []
+    template = NARRATION.get(name, step)
+    return template.format(*args)
+
+
+def main() -> None:
+    print("Parsing the mission description (paper Fig. 14 notation)...")
+    problem = parse_problem_text(MISSION)
+    print(f"  {len(problem.actions)} ground actions, "
+          f"{len(problem.initial_state)} initial facts\n")
+
+    print("Planning with three heuristics:")
+    best = None
+    for kind in ("goal-count", "hmax", "hadd"):
+        t0 = time.perf_counter()
+        result = SymbolicPlanner(problem, heuristic=kind).plan()
+        elapsed = time.perf_counter() - t0
+        print(f"  {kind:<11} plan length {len(result.plan):>2}, "
+              f"{result.expansions:>4} expansions, {elapsed * 1e3:6.1f} ms")
+        best = result
+
+    print("\nThe mission plan:")
+    for i, step in enumerate(best.plan, 1):
+        print(f"  {i}. {narrate(step)}")
+
+    final = execute_plan(problem, best.plan)
+    assert problem.goal <= final
+    print("\nGoal verified: the fire took its first dousing "
+          "(re-run the full kernel `rtrbench run sym-fext` for the "
+          "three-pour version with recharging).")
+
+
+if __name__ == "__main__":
+    main()

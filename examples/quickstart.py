@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Quickstart: run kernels from the suite and read their profiles.
+
+This is the five-minute tour of the RTRBench reproduction:
+
+1. list the registered kernels (the paper's Table I),
+2. run one kernel from each pipeline stage with default settings,
+3. print the per-phase execution breakdown the paper characterizes,
+4. override a configuration parameter from code (the same knobs the
+   ``rtrbench`` CLI exposes as ``--options``).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import load_all_kernels, registry, run_kernel
+from repro.harness.reporting import characterization_table, result_summary
+
+
+def main() -> None:
+    load_all_kernels()
+
+    print("=== The suite (paper Table I) ===")
+    for name in registry.names():
+        cls = registry.get(name)
+        print(f"  {name:<14} {cls.stage:<11} {cls.description}")
+    print()
+
+    print("=== One kernel per pipeline stage ===")
+    results = []
+    for name, overrides in (
+        ("pfl", dict(particles=400, beams=12, steps=10)),   # perception
+        ("pp2d", dict(rows=128, cols=128)),                  # planning
+        ("mpc", dict(steps=80)),                             # control
+    ):
+        print(f"\n--- running {name} ---")
+        result = run_kernel(name, **overrides)
+        results.append(result)
+        print(result_summary(result))
+
+    print("\n=== Dominant-phase view (compare with Table I) ===")
+    print(characterization_table(results))
+
+    print("\n=== Flexible configuration (paper Fig. 20) ===")
+    fast = run_kernel("pp2d", rows=96, cols=96, epsilon=2.5)
+    exact = run_kernel("pp2d", rows=96, cols=96, epsilon=1.0)
+    print(
+        f"pp2d with epsilon=2.5: cost={fast.output.cost:.1f} "
+        f"expansions={fast.output.expansions}"
+    )
+    print(
+        f"pp2d with epsilon=1.0: cost={exact.output.cost:.1f} "
+        f"expansions={exact.output.expansions}"
+    )
+    print("Weighted A* trades path cost for search effort, as expected.")
+
+
+if __name__ == "__main__":
+    main()

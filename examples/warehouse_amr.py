@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""A warehouse autonomous mobile robot: the full Fig. 1 pipeline.
+
+Sense -> Perception -> Planning -> Control, composed from the suite's
+public API the way a downstream robotics team would:
+
+* **Perception** — the AMR localizes against the known warehouse map with
+  the particle filter (kernel 01), fusing odometry and lidar.
+* **Planning** — from the *estimated* pose, it plans a collision-free
+  route to the pick station with grid A* (kernel 04 machinery).
+* **Control** — it tracks the planned route with the MPC controller
+  (kernel 14) on a differential-drive-scale vehicle.
+
+The script prints each stage's quality metric and phase profile, so you
+can see the pipeline's per-stage bottlenecks shift exactly as the paper's
+Table I predicts.
+
+Run:  python examples/warehouse_amr.py
+"""
+
+import numpy as np
+
+from repro.control.mpc import ModelPredictiveController
+from repro.harness.profiler import PhaseProfiler
+from repro.perception.particle_filter import ParticleFilter, make_pfl_workload
+from repro.planning.fast_astar import fast_grid_astar
+from repro.robots.bicycle import BicycleModel, BicycleState
+
+
+def perceive(workload, profiler: PhaseProfiler):
+    """Global localization: scatter particles, converge, estimate."""
+    pf = ParticleFilter(
+        workload.grid,
+        workload.lidar,
+        workload.motion_model,
+        n_particles=1200,
+        rng=np.random.default_rng(7),
+        profiler=profiler,
+    )
+    pf.initialize_uniform()
+    spread0 = pf.spread()
+    for odometry, scan in zip(workload.odometry, workload.scans):
+        pf.update(odometry, scan)
+    estimate = pf.estimate()
+    truth = workload.true_poses[-1]
+    print(f"  particle spread: {spread0:.1f} m -> {pf.spread():.2f} m")
+    print(f"  pose error vs ground truth: {estimate.distance_to(truth):.2f} m")
+    return estimate
+
+
+def plan(grid, estimate, profiler: PhaseProfiler):
+    """Route from the estimated pose to the pick station."""
+    start = grid.world_to_cell(estimate.x, estimate.y)
+    # Pick station: the farthest cell that stays free after the planner
+    # inflates obstacles by the robot radius.
+    inflated = grid.inflate(0.3)
+    free = np.argwhere(~inflated.cells)
+    goal = tuple(
+        int(v)
+        for v in free[np.argmax(np.abs(free - np.asarray(start)).sum(axis=1))]
+    )
+    profiler.begin("plan")
+    result = fast_grid_astar(grid, start, goal, robot_radius=0.3)
+    profiler.end("plan")
+    if not result.found:
+        raise RuntimeError("warehouse route blocked")
+    print(f"  route: {len(result.path)} cells, {result.cost:.1f} m, "
+          f"{result.expansions} expansions")
+    from repro.viz import render_grid
+
+    print(render_grid(
+        grid, path=result.path,
+        markers={tuple(start): "S", tuple(goal): "G"},
+        max_width=80, max_height=24,
+    ))
+    return [grid.cell_to_world(r, c) for r, c in result.path]
+
+
+def control(waypoints, profiler: PhaseProfiler):
+    """Track the planned route with receding-horizon MPC."""
+    points = np.asarray(waypoints)
+    headings = np.arctan2(
+        np.gradient(points[:, 1]), np.gradient(points[:, 0])
+    )
+    speed = 1.2  # m/s: warehouse walking pace
+    reference = np.column_stack(
+        [points[:, 0], points[:, 1], headings, np.full(len(points), speed)]
+    )
+    model = BicycleModel(wheelbase=0.4, max_speed=2.0, max_steer=0.8)
+    controller = ModelPredictiveController(
+        model, horizon=8, dt=0.3, profiler=profiler
+    )
+    initial = BicycleState(
+        x=points[0, 0], y=points[0, 1], theta=headings[0], v=speed
+    )
+    outcome = controller.track(initial, reference, steps=min(80, len(points) - 1))
+    print(f"  tracking error: mean {outcome['errors'].mean():.2f} m, "
+          f"max {outcome['errors'].max():.2f} m")
+    return outcome
+
+
+def main() -> None:
+    print("Building the warehouse workload (map + sensor trace)...")
+    workload = make_pfl_workload(region=2, n_steps=15, n_beams=24, seed=3)
+
+    stages = {}
+    print("\n[1/3] PERCEPTION - particle filter localization")
+    stages["perception"] = PhaseProfiler()
+    estimate = perceive(workload, stages["perception"])
+
+    print("\n[2/3] PLANNING - A* route to the pick station")
+    stages["planning"] = PhaseProfiler()
+    waypoints = plan(workload.grid, estimate, stages["planning"])
+
+    print("\n[3/3] CONTROL - MPC trajectory tracking")
+    stages["control"] = PhaseProfiler()
+    control(waypoints, stages["control"])
+
+    print("\n=== Where the time went, per stage ===")
+    for stage, profiler in stages.items():
+        dominant = profiler.dominant_phase()
+        share = profiler.fraction(dominant) if dominant else 0.0
+        print(f"  {stage:<11} {profiler.total_time():7.3f}s  "
+              f"dominant: {dominant} ({share:.0%})")
+    print("\nCompare with the paper's Table I: ray-casting dominates the")
+    print("perception stage and optimization dominates the control stage.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""RTRBench reproduction: a real-time robotics kernel suite in Python.
+
+This package reproduces *RTRBench: A Benchmark Suite for Real-Time
+Robotics* (Bakhshalipour, Likhachev, Gibbons — ISPASS 2022): sixteen
+kernels spanning the perception -> planning -> control pipeline of
+autonomous robots, each instrumented with a region-of-interest harness
+and a phase profiler so the paper's workload characterization can be
+regenerated.
+
+Quick start::
+
+    from repro import run_kernel
+    result = run_kernel("pp2d")
+    print(result.profiler.report())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every table and figure.
+"""
+
+from repro.harness.runner import (
+    Kernel,
+    KernelResult,
+    load_all_kernels,
+    registry,
+    run_kernel,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Kernel",
+    "KernelResult",
+    "load_all_kernels",
+    "registry",
+    "run_kernel",
+    "__version__",
+]

@@ -1,0 +1,27 @@
+"""Control kernels: trajectory generation, tracking, and policy learning.
+
+The suite's control stage (paper Table I):
+
+* ``13.dmp`` — dynamic movement primitives (:mod:`.dmp`)
+* ``14.mpc`` — model predictive control (:mod:`.mpc`)
+* ``15.cem`` — cross-entropy method policy search (:mod:`.cem`)
+* ``16.bo``  — Bayesian optimization policy search (:mod:`.bayesopt`)
+"""
+
+from repro.control.bayesopt import BayesianOptimizer, BoKernel
+from repro.control.cem import CemKernel, CrossEntropyMethod
+from repro.control.dmp import DmpKernel, DynamicMovementPrimitive
+from repro.control.gp import GaussianProcess
+from repro.control.mpc import ModelPredictiveController, MpcKernel
+
+__all__ = [
+    "BayesianOptimizer",
+    "BoKernel",
+    "CemKernel",
+    "CrossEntropyMethod",
+    "DmpKernel",
+    "DynamicMovementPrimitive",
+    "GaussianProcess",
+    "ModelPredictiveController",
+    "MpcKernel",
+]

@@ -1,0 +1,230 @@
+"""Kernel 13.dmp — dynamic movement primitives (paper section V.13).
+
+A DMP turns a single demonstrated trajectory into a parameterized
+attractor system: a virtual spring-damper pulls toward the goal while a
+learned forcing term (Gaussian basis functions weighted by imitation-
+learned shape parameters) reproduces the demonstration's shape.  Rollout
+is inherently sequential — position, velocity, and acceleration are
+integrated step by step — which is why the paper measures IPC < 1 and
+points at dataflow architectures.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.harness.config import KernelConfig, option
+from repro.harness.profiler import PhaseProfiler
+from repro.harness.runner import Kernel, registry
+
+
+class DynamicMovementPrimitive:
+    """A multi-dimensional discrete DMP (Schaal-style formulation).
+
+    Transformation system (per dimension, time constant tau):
+
+        tau * v' = K (g - y) - D v + f(s)
+        tau * y' = v
+
+    with the canonical phase ``tau * s' = -alpha_s * s`` decaying from 1
+    to 0 and the forcing term ``f(s) = s * sum_i psi_i(s) w_i / sum_i
+    psi_i(s)`` over Gaussian basis functions psi.  The forcing term is
+    deliberately *not* scaled by (g - y0): the classic amplitude scaling
+    divides by the demonstrated displacement, which explodes for any
+    dimension whose start and goal coincide (e.g. a lateral S-curve that
+    returns to center).
+    """
+
+    def __init__(
+        self,
+        n_basis: int = 30,
+        k_gain: float = 400.0,
+        alpha_s: float = 4.0,
+        profiler: Optional[PhaseProfiler] = None,
+    ) -> None:
+        if n_basis < 2:
+            raise ValueError("need at least two basis functions")
+        self.n_basis = int(n_basis)
+        self.k_gain = float(k_gain)
+        self.d_gain = 2.0 * math.sqrt(self.k_gain)  # critical damping
+        self.alpha_s = float(alpha_s)
+        self.profiler = profiler if profiler is not None else PhaseProfiler()
+        # Basis centers equally spaced in phase (log-spaced in time).
+        self.centers = np.exp(
+            -self.alpha_s * np.linspace(0.0, 1.0, self.n_basis)
+        )
+        self.widths = (np.diff(self.centers) ** 2)
+        self.widths = 1.0 / np.concatenate([self.widths, self.widths[-1:]])
+        self.weights: Optional[np.ndarray] = None  # (dims, n_basis)
+        self.y0: Optional[np.ndarray] = None
+        self.goal: Optional[np.ndarray] = None
+        self.tau: float = 1.0
+
+    # -- imitation learning --------------------------------------------------
+
+    def _basis(self, s: np.ndarray) -> np.ndarray:
+        """Basis activations for phase values ``s``: shape (len(s), n_basis)."""
+        s = np.atleast_1d(s)
+        return np.exp(
+            -self.widths[None, :] * (s[:, None] - self.centers[None, :]) ** 2
+        )
+
+    def fit(self, demo: np.ndarray, dt: float) -> None:
+        """Learn shape weights from one demonstration (imitation learning).
+
+        ``demo`` is ``(T, dims)`` positions sampled every ``dt`` seconds.
+        The target forcing term is recovered from the demonstration's
+        derivatives and regressed per basis with locally weighted linear
+        regression, the standard single-demonstration procedure.
+        """
+        prof = self.profiler
+        with prof.phase("fit"):
+            demo = np.asarray(demo, dtype=float)
+            if demo.ndim != 2 or len(demo) < 3:
+                raise ValueError("demo must be (T >= 3, dims)")
+            steps, dims = demo.shape
+            self.tau = (steps - 1) * dt
+            self.y0 = demo[0].copy()
+            self.goal = demo[-1].copy()
+            vel = np.gradient(demo, dt, axis=0)
+            acc = np.gradient(vel, dt, axis=0)
+            t = np.arange(steps) * dt
+            s = np.exp(-self.alpha_s * t / self.tau)
+            # f_target from the inverse transformation system.
+            f_target = (
+                self.tau**2 * acc
+                - self.k_gain * (self.goal[None, :] - demo)
+                + self.d_gain * self.tau * vel
+            )
+            psi = self._basis(s)  # (T, n_basis)
+            xi = s[:, None] * psi  # regressor per basis
+            self.weights = np.empty((dims, self.n_basis))
+            for i in range(self.n_basis):
+                w_psi = psi[:, i]
+                denominator = float(np.sum(w_psi * s * s)) + 1e-10
+                for d in range(dims):
+                    self.weights[d, i] = (
+                        float(np.sum(w_psi * s * f_target[:, d])) / denominator
+                    )
+            prof.count("regression_solves", self.n_basis * dims)
+
+    # -- rollout --------------------------------------------------------------
+
+    def rollout(
+        self,
+        dt: float,
+        y0: Optional[np.ndarray] = None,
+        goal: Optional[np.ndarray] = None,
+        tau: Optional[float] = None,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Integrate the DMP; returns (positions, velocities, accelerations).
+
+        The sequential loop is the measured ``integrate`` phase; basis
+        evaluation per step is ``basis_eval``.
+        """
+        if self.weights is None:
+            raise RuntimeError("rollout() before fit()")
+        prof = self.profiler
+        y0 = self.y0.copy() if y0 is None else np.asarray(y0, dtype=float)
+        goal = self.goal.copy() if goal is None else np.asarray(goal, dtype=float)
+        tau = self.tau if tau is None else float(tau)
+        steps = int(round(tau / dt)) + 1
+        dims = len(y0)
+        ys = np.empty((steps, dims))
+        vs = np.empty((steps, dims))
+        accs = np.empty((steps, dims))
+        y = y0.copy()
+        v = np.zeros(dims)
+        s = 1.0
+        with prof.phase("integrate"):
+            for t in range(steps):
+                with prof.phase("basis_eval"):
+                    psi = self._basis(np.array([s]))[0]
+                    denom = float(psi.sum()) + 1e-10
+                    f = (self.weights @ psi) * s / denom
+                    prof.count("basis_evaluations", self.n_basis)
+                acc = (
+                    self.k_gain * (goal - y) - self.d_gain * v + f
+                ) / (tau * tau)
+                ys[t] = y
+                vs[t] = v / tau
+                accs[t] = acc
+                v = v + acc * dt * tau
+                y = y + v * dt / tau
+                s = s + (-self.alpha_s * s) * dt / tau
+        return ys, vs, accs
+
+
+def demonstration_trajectory(
+    steps: int = 200, dt: float = 0.01, kind: str = "s_curve"
+) -> np.ndarray:
+    """A smooth synthetic demonstration (the in-house wheeled-robot demo).
+
+    ``s_curve`` sweeps forward in x with a smooth lateral S in y using a
+    minimum-jerk longitudinal profile — the shape of Fig. 15's reference.
+    """
+    t = np.linspace(0.0, 1.0, steps)
+    min_jerk = 10 * t**3 - 15 * t**4 + 6 * t**5
+    if kind == "s_curve":
+        x = 15.0 * min_jerk
+        y = 2.0 * np.sin(2.0 * math.pi * min_jerk)
+        return np.column_stack([x, y])
+    if kind == "reach":
+        return np.column_stack([min_jerk, min_jerk**2])
+    raise ValueError(f"unknown demonstration kind {kind!r}")
+
+
+@dataclass
+class DmpConfig(KernelConfig):
+    """Configuration of the dmp kernel."""
+
+    basis: int = option(30, "Number of Gaussian basis functions")
+    demo_steps: int = option(200, "Demonstration length (samples)")
+    dt: float = option(0.005, "Rollout integration step (s)")
+    k_gain: float = option(400.0, "Spring constant of the attractor")
+
+
+@registry.register
+class DmpKernel(Kernel):
+    """DMP trajectory generation (serial integration bound)."""
+
+    name = "13.dmp"
+    stage = "control"
+    config_cls = DmpConfig
+    description = "Dynamic movement primitives (serial dependency bound)"
+
+    def setup(self, config: DmpConfig) -> np.ndarray:
+        return demonstration_trajectory(steps=config.demo_steps, dt=0.01)
+
+    def run_roi(
+        self, config: DmpConfig, state: np.ndarray, profiler: PhaseProfiler
+    ) -> dict:
+        dmp = DynamicMovementPrimitive(
+            n_basis=config.basis, k_gain=config.k_gain, profiler=profiler
+        )
+        dmp.fit(state, dt=0.01)
+        ys, vs, accs = dmp.rollout(dt=config.dt)
+        # Tracking error against the (resampled) demonstration.
+        demo_resampled = np.column_stack(
+            [
+                np.interp(
+                    np.linspace(0, 1, len(ys)),
+                    np.linspace(0, 1, len(state)),
+                    state[:, d],
+                )
+                for d in range(state.shape[1])
+            ]
+        )
+        rms = float(np.sqrt(np.mean((ys - demo_resampled) ** 2)))
+        return {
+            "trajectory": ys,
+            "velocity": vs,
+            "acceleration": accs,
+            "reference": demo_resampled,
+            "rms_error": rms,
+            "endpoint_error": float(np.linalg.norm(ys[-1] - state[-1])),
+        }

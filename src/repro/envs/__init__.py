@@ -1,0 +1,33 @@
+"""Environments and workloads.
+
+The paper evaluates each kernel on a representative inputset (Wean Hall
+for pfl, Boston_1_1024 for pp2d, the Freiburg campus scan for pp3d, the
+ICL-NUIM living room for srec, Map-F / Map-C for the arm planners).  Those
+datasets are not redistributable, so this package generates procedural
+equivalents that preserve the structural properties each kernel exercises
+— see DESIGN.md section 2 for the substitution rationale — plus a parser
+for the MovingAI ``.map`` format so the real maps drop in when available.
+"""
+
+from repro.envs.arm_maps import ArmWorkspace, map_c, map_f
+from repro.envs.costmap import CostField, synthetic_costmap
+from repro.envs.mapgen import campus_like_3d, city_like, comparison_map, wean_hall_like
+from repro.envs.movingai import load_movingai, parse_movingai, save_movingai
+from repro.envs.pointcloud import living_room, simulate_scan
+
+__all__ = [
+    "ArmWorkspace",
+    "map_c",
+    "map_f",
+    "CostField",
+    "synthetic_costmap",
+    "campus_like_3d",
+    "city_like",
+    "comparison_map",
+    "wean_hall_like",
+    "load_movingai",
+    "parse_movingai",
+    "save_movingai",
+    "living_room",
+    "simulate_scan",
+]

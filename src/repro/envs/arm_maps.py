@@ -1,0 +1,118 @@
+"""Synthetic arm-planning workspaces (the paper's Fig. 9).
+
+``Map-F`` is a free 50 cm x 50 cm workspace; ``Map-C`` is a cluttered one
+with box obstacles the arm must thread between.  The 5-DoF planar arm is
+anchored at the workspace's bottom-left corner, matching the figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.geometry.collision import Rectangle, polyline_hits_obstacles
+from repro.robots.arm import PlanarArm
+
+CountFn = Callable[[str, int], None]
+
+WORKSPACE_SIZE = 0.5  # meters (50 cm, per Fig. 9)
+
+
+@dataclass
+class ArmWorkspace:
+    """A planar workspace with rectangular obstacles and an anchored arm."""
+
+    name: str
+    size: float
+    obstacles: List[Rectangle]
+    base: Tuple[float, float] = (0.0, 0.0)
+
+    def in_bounds(self, x: float, y: float) -> bool:
+        """Whether a workspace point lies inside the square arena."""
+        return 0.0 <= x <= self.size and 0.0 <= y <= self.size
+
+    def config_collides(
+        self,
+        arm: PlanarArm,
+        q: Sequence[float],
+        count: Optional[CountFn] = None,
+    ) -> bool:
+        """Whether the arm at joint configuration ``q`` hits anything.
+
+        The arm's links form a polyline from the base through each joint;
+        a configuration collides if any link crosses an obstacle or leaves
+        the workspace.
+        """
+        points = arm.link_points(q, base=self.base)
+        for x, y in points[1:]:
+            if not self.in_bounds(x, y):
+                if count is not None:
+                    count("segment_obstacle_tests", 0)
+                return True
+        return polyline_hits_obstacles(points, self.obstacles, count)
+
+    def edge_collides(
+        self,
+        arm: PlanarArm,
+        q0: Sequence[float],
+        q1: Sequence[float],
+        step: float = 0.05,
+        count: Optional[CountFn] = None,
+    ) -> bool:
+        """Whether the straight joint-space motion q0 -> q1 collides.
+
+        Checked by sampling intermediate configurations at joint-space
+        spacing ``step`` radians — the standard discretized edge check the
+        sampling-based planners use.
+        """
+        q0 = np.asarray(q0, dtype=float)
+        q1 = np.asarray(q1, dtype=float)
+        dist = float(np.linalg.norm(q1 - q0))
+        n = max(1, int(np.ceil(dist / step)))
+        for i in range(n + 1):
+            q = q0 + (q1 - q0) * (i / n)
+            if self.config_collides(arm, q, count):
+                return True
+        return False
+
+
+def map_f(size: float = WORKSPACE_SIZE) -> ArmWorkspace:
+    """The free workspace of Fig. 9: no obstacles."""
+    return ArmWorkspace(
+        name="Map-F", size=size, obstacles=[], base=(size / 2.0, size / 2.0)
+    )
+
+
+def map_c(size: float = WORKSPACE_SIZE) -> ArmWorkspace:
+    """The cluttered workspace of Fig. 9: box obstacles across the arena.
+
+    Obstacle layout follows the figure's character: several rectangles
+    distributed over the reachable area, leaving threadable gaps.
+    """
+    s = size
+    obstacles = [
+        Rectangle(0.30 * s, 0.10 * s, 0.45 * s, 0.25 * s),
+        Rectangle(0.60 * s, 0.30 * s, 0.80 * s, 0.42 * s),
+        Rectangle(0.15 * s, 0.55 * s, 0.35 * s, 0.70 * s),
+        Rectangle(0.55 * s, 0.65 * s, 0.72 * s, 0.85 * s),
+        Rectangle(0.05 * s, 0.30 * s, 0.18 * s, 0.40 * s),
+        Rectangle(0.82 * s, 0.05 * s, 0.95 * s, 0.18 * s),
+    ]
+    return ArmWorkspace(
+        name="Map-C", size=size, obstacles=obstacles,
+        base=(size / 2.0, size / 2.0),
+    )
+
+
+def default_arm(dof: int = 5, size: float = WORKSPACE_SIZE) -> PlanarArm:
+    """A ``dof``-link arm sized so the workspace is comfortably plannable.
+
+    The arm is anchored at the arena center (see :func:`map_c`) with reach
+    0.45x the edge length, so a fully extended arm always stays inside
+    the box and collisions come only from the obstacles — the regime the
+    sampling-based planners are meant to exercise.
+    """
+    reach = size * 0.45
+    return PlanarArm([reach / dof] * dof)

@@ -1,0 +1,123 @@
+"""Location-cost fields for the moving-target kernel (paper section V.6).
+
+movtar plans over a 2D environment where "every location in the
+environment has a particular cost for the robot"; the planner minimizes
+accumulated cost rather than distance.  :func:`synthetic_costmap` builds
+such fields — smooth cost terrain from superposed Gaussian bumps, plus
+hard obstacles — matching the paper's "we create our own synthetic
+environments".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+
+@dataclass
+class CostField:
+    """A per-cell traversal cost plus an obstacle mask."""
+
+    cost: np.ndarray  # (rows, cols) float, >= min_cost > 0 on free cells
+    obstacles: np.ndarray  # (rows, cols) bool
+
+    def __post_init__(self) -> None:
+        if self.cost.shape != self.obstacles.shape:
+            raise ValueError("cost and obstacle grids must have equal shape")
+        free = ~self.obstacles
+        if free.any() and float(self.cost[free].min()) <= 0.0:
+            raise ValueError("traversal costs must be positive on free cells")
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """(rows, cols) of the field."""
+        return self.cost.shape  # type: ignore[return-value]
+
+    def in_bounds(self, r: int, c: int) -> bool:
+        """Whether (r, c) indexes a cell."""
+        rows, cols = self.cost.shape
+        return 0 <= r < rows and 0 <= c < cols
+
+    def is_free(self, r: int, c: int) -> bool:
+        """Whether the cell exists and is not an obstacle."""
+        return self.in_bounds(r, c) and not bool(self.obstacles[r, c])
+
+
+def synthetic_costmap(
+    rows: int = 64,
+    cols: int = 64,
+    n_bumps: int = 6,
+    obstacle_density: float = 0.08,
+    seed: int = 0,
+) -> CostField:
+    """A smooth cost terrain with scattered rectangular obstacles.
+
+    Cost = 1 + sum of Gaussian bumps (expensive regions the robot should
+    route around).  Obstacles are small random rectangles.
+    """
+    rng = np.random.default_rng(seed)
+    ys, xs = np.mgrid[0:rows, 0:cols]
+    cost = np.ones((rows, cols), dtype=float)
+    for _ in range(n_bumps):
+        cy = rng.uniform(0, rows)
+        cx = rng.uniform(0, cols)
+        amp = rng.uniform(2.0, 8.0)
+        sigma = rng.uniform(min(rows, cols) / 12, min(rows, cols) / 5)
+        cost += amp * np.exp(-((ys - cy) ** 2 + (xs - cx) ** 2) / (2 * sigma**2))
+    obstacles = np.zeros((rows, cols), dtype=bool)
+    target_cells = int(rows * cols * obstacle_density)
+    placed = 0
+    while placed < target_cells:
+        h = int(rng.integers(2, max(3, rows // 10)))
+        w = int(rng.integers(2, max(3, cols // 10)))
+        r0 = int(rng.integers(1, max(2, rows - h - 1)))
+        c0 = int(rng.integers(1, max(2, cols - w - 1)))
+        obstacles[r0 : r0 + h, c0 : c0 + w] = True
+        placed += h * w
+    # Keep the border free so trajectories can wrap around the field edge.
+    obstacles[0, :] = obstacles[-1, :] = False
+    obstacles[:, 0] = obstacles[:, -1] = False
+    return CostField(cost=cost, obstacles=obstacles)
+
+
+def target_trajectory(
+    field: CostField, length: int, seed: int = 0
+) -> np.ndarray:
+    """A known target trajectory: a loop of free cells, one per timestep.
+
+    movtar assumes "the robot knows the trajectory of the target (i.e.,
+    the location of the target at any given time)".  The target patrols a
+    loop of corner waypoints; each leg is routed with a shortest grid
+    path through free space, so the trajectory is 8-connected everywhere
+    (obstacles deflect it rather than teleporting it).
+    """
+    from repro.search.dijkstra import shortest_grid_path
+
+    rows, cols = field.shape
+    margin_r = max(2, rows // 6)
+    margin_c = max(2, cols // 6)
+    corners = [
+        (margin_r, margin_c),
+        (margin_r, cols - margin_c),
+        (rows - margin_r, cols - margin_c),
+        (rows - margin_r, margin_c),
+    ]
+    free = np.argwhere(~field.obstacles)
+    waypoints = []
+    for corner in corners:
+        i = int(np.argmin(np.abs(free - np.asarray(corner)).sum(axis=1)))
+        waypoints.append((int(free[i][0]), int(free[i][1])))
+    loop: List[Tuple[int, int]] = []
+    for a, b in zip(waypoints, waypoints[1:] + waypoints[:1]):
+        leg = shortest_grid_path(field.obstacles, a, b)
+        if not leg:
+            raise ValueError(
+                "cost field's free space does not connect the patrol corners"
+            )
+        loop.extend(leg[:-1])  # drop the endpoint: next leg starts there
+    if not loop:
+        raise ValueError("degenerate patrol loop")
+    out = [loop[i % len(loop)] for i in range(length)]
+    return np.asarray(out, dtype=int)

@@ -1,0 +1,84 @@
+"""MovingAI ``.map`` format support.
+
+The paper's pp2d inputset is ``Boston_1_1024`` from the MovingAI grid
+benchmark collection (Sturtevant 2012).  The dataset itself is not bundled,
+but this parser accepts the standard format, so the real city maps can be
+dropped in unchanged:
+
+    type octile
+    height 1024
+    width 1024
+    map
+    .....@@@...
+
+``.`` and ``G`` are passable terrain; ``@``, ``O``, ``T``, ``S``, ``W``
+are treated as obstacles (trees/swamp/water are impassable for a car).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.geometry.grid2d import OccupancyGrid2D
+
+PASSABLE = frozenset(".G")
+OBSTACLE = frozenset("@OTSW")
+
+
+def parse_movingai(text: str, resolution: float = 1.0) -> OccupancyGrid2D:
+    """Parse MovingAI ``.map`` text into an occupancy grid."""
+    lines = text.splitlines()
+    height = width = None
+    map_start = None
+    for i, line in enumerate(lines):
+        token = line.strip().lower()
+        if token.startswith("height"):
+            height = int(token.split()[1])
+        elif token.startswith("width"):
+            width = int(token.split()[1])
+        elif token == "map":
+            map_start = i + 1
+            break
+    if height is None or width is None or map_start is None:
+        raise ValueError("not a MovingAI map: missing height/width/map header")
+    rows = lines[map_start : map_start + height]
+    if len(rows) < height:
+        raise ValueError(
+            f"map body has {len(rows)} rows, header promised {height}"
+        )
+    cells = np.zeros((height, width), dtype=bool)
+    for r, row in enumerate(rows):
+        if len(row) < width:
+            raise ValueError(f"map row {r} has {len(row)} cols, expected {width}")
+        for c in range(width):
+            ch = row[c]
+            if ch in OBSTACLE:
+                cells[r, c] = True
+            elif ch not in PASSABLE:
+                raise ValueError(f"unknown terrain character {ch!r} at ({r},{c})")
+    return OccupancyGrid2D(cells, resolution=resolution)
+
+
+def load_movingai(
+    path: Union[str, Path], resolution: float = 1.0
+) -> OccupancyGrid2D:
+    """Load a ``.map`` file from disk."""
+    return parse_movingai(Path(path).read_text(), resolution)
+
+
+def save_movingai(grid: OccupancyGrid2D, path: Union[str, Path]) -> None:
+    """Write a grid in MovingAI format (obstacles as ``@``)."""
+    lines = [
+        "type octile",
+        f"height {grid.rows}",
+        f"width {grid.cols}",
+        "map",
+    ]
+    for r in range(grid.rows):
+        lines.append(
+            "".join("@" if grid.cells[r, c] else "." for c in range(grid.cols))
+        )
+    Path(path).write_text("\n".join(lines) + "\n")

@@ -1,0 +1,119 @@
+"""Experiments F15, F18, F19, E16 — the control figures.
+
+* F15 (paper Fig. 15): DMP reproduces the demonstrated trajectory and
+  yields a smooth velocity profile.
+* F18 (paper Fig. 18): CEM reward improves across 5 iterations x 15
+  samples.
+* F19 (paper Fig. 19): BO reward improves over 45 iterations.
+* E16 (section V.16): bo is computationally heavier than cem (more
+  iterations of more work) and its sort handles more metadata.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.harness.runner import run_kernel
+
+
+@dataclass
+class DmpFigure:
+    """F15 metrics: tracking fidelity and velocity smoothness."""
+
+    rms_error: float
+    endpoint_error: float
+    max_velocity: float
+    velocity_sign_changes: int
+
+
+def run_fig15_dmp(seed: int = 0) -> DmpFigure:
+    """F15: fit the demonstration and roll the DMP out."""
+    out = run_kernel("dmp", seed=seed).output
+    velocity = out["velocity"]
+    speed = np.linalg.norm(velocity, axis=1)
+    lateral = velocity[:, 1]
+    sign_changes = int(np.sum(np.diff(np.sign(lateral[np.abs(lateral) > 1e-6])) != 0))
+    return DmpFigure(
+        rms_error=out["rms_error"],
+        endpoint_error=out["endpoint_error"],
+        max_velocity=float(speed.max()),
+        velocity_sign_changes=sign_changes,
+    )
+
+
+@dataclass
+class LearningCurve:
+    """F18/F19 metrics: reward progress for a policy-search kernel."""
+
+    kernel: str
+    reward_history: List[float]
+    best_reward: float
+    first_reward: float
+    roi_time: float
+
+    @property
+    def improved(self) -> bool:
+        """Whether the best reward beats the first iteration's."""
+        return self.best_reward > self.first_reward
+
+
+def run_fig18_cem(seed: int = 0) -> LearningCurve:
+    """F18: CEM rewards over 5 iterations of 15 samples."""
+    result = run_kernel("cem", seed=seed)
+    out = result.output
+    return LearningCurve(
+        kernel="15.cem",
+        reward_history=list(out["reward_history"]),
+        best_reward=out["best_reward"],
+        first_reward=out["reward_history"][0],
+        roi_time=result.roi_time,
+    )
+
+
+def run_fig19_bo(seed: int = 0) -> LearningCurve:
+    """F19: BO rewards over 45 iterations."""
+    result = run_kernel("bo", seed=seed)
+    out = result.output
+    history = list(out["reward_history"])
+    return LearningCurve(
+        kernel="16.bo",
+        reward_history=history,
+        best_reward=out["best_reward"],
+        first_reward=history[0],
+        roi_time=result.roi_time,
+    )
+
+
+@dataclass
+class BoVsCem:
+    """E16: relative compute and sort volume of bo versus cem."""
+
+    cem_time: float
+    bo_time: float
+    cem_sort_elements: int
+    bo_sort_elements: int
+
+    @property
+    def time_ratio(self) -> float:
+        """bo wall-clock over cem wall-clock."""
+        return self.bo_time / max(self.cem_time, 1e-12)
+
+    @property
+    def sort_ratio(self) -> float:
+        """Elements sorted by bo over elements sorted by cem."""
+        return self.bo_sort_elements / max(self.cem_sort_elements, 1)
+
+
+def run_bo_vs_cem(seed: int = 0) -> BoVsCem:
+    """E16: matched-task comparison of the two policy-search kernels."""
+    cem = run_kernel("cem", seed=seed)
+    bo = run_kernel("bo", seed=seed)
+    return BoVsCem(
+        cem_time=cem.roi_time,
+        bo_time=bo.roi_time,
+        cem_sort_elements=cem.profiler.counters.get("sort_elements", 0),
+        bo_sort_elements=bo.profiler.counters.get("sort_elements", 0),
+    )

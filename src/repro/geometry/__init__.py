@@ -1,0 +1,30 @@
+"""Geometric substrates: grids, transforms, ray casting, collision, KD-trees.
+
+These are the shared primitives underneath the perception and planning
+kernels — the operations the paper identifies as architectural bottlenecks
+(ray-casting, collision detection, nearest-neighbor search, L2 norms) all
+live here so they can be instrumented uniformly.
+"""
+
+from repro.geometry.distance import (
+    euclidean,
+    squared_euclidean,
+    angular_difference,
+    joint_space_distance,
+)
+from repro.geometry.grid2d import OccupancyGrid2D
+from repro.geometry.grid3d import OccupancyGrid3D
+from repro.geometry.kdtree import KDTree
+from repro.geometry.transforms import SE2, wrap_angle
+
+__all__ = [
+    "euclidean",
+    "squared_euclidean",
+    "angular_difference",
+    "joint_space_distance",
+    "OccupancyGrid2D",
+    "OccupancyGrid3D",
+    "KDTree",
+    "SE2",
+    "wrap_angle",
+]

@@ -1,0 +1,176 @@
+"""Grid ray casting.
+
+Ray-casting is the dominant phase of particle filter localization (the
+paper measures 67-78% of pfl execution time in it), so the implementation
+here is both the algorithmic substrate and an instrumentation point: the
+batch caster reports how many cell-step operations it performed via an
+optional counter callback, giving an architecture-independent work metric
+alongside wall-clock time.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.geometry.grid2d import OccupancyGrid2D
+
+CountFn = Callable[[str, int], None]
+
+
+def cast_ray(
+    grid: OccupancyGrid2D,
+    x: float,
+    y: float,
+    angle: float,
+    max_range: float,
+    step: Optional[float] = None,
+) -> float:
+    """Distance from (x, y) along ``angle`` to the first occupied cell.
+
+    Marches in ``step`` increments (default: half the grid resolution, a
+    standard compromise between accuracy and cost).  Returns ``max_range``
+    if nothing is hit.
+    """
+    if step is None:
+        step = grid.resolution * 0.5
+    dx = math.cos(angle) * step
+    dy = math.sin(angle) * step
+    n_steps = int(max_range / step)
+    cx, cy = x, y
+    for i in range(1, n_steps + 1):
+        cx += dx
+        cy += dy
+        if grid.is_occupied_world(cx, cy):
+            return i * step
+    return max_range
+
+
+def cast_rays_batch(
+    grid: OccupancyGrid2D,
+    xs: np.ndarray,
+    ys: np.ndarray,
+    angles: np.ndarray,
+    max_range: float,
+    step: Optional[float] = None,
+    count: Optional[CountFn] = None,
+) -> np.ndarray:
+    """Vectorized ray casting: one ray per (xs[i], ys[i], angles[i]).
+
+    All rays march in lock-step; rays that have already hit are frozen.
+    This is the workhorse of the particle filter, where every particle
+    casts one ray per laser beam.  ``count`` (if given) receives the number
+    of per-cell occupancy checks performed, the paper's ray-casting work
+    unit.
+    """
+    if step is None:
+        step = grid.resolution * 0.5
+    xs = np.asarray(xs, dtype=float)
+    ys = np.asarray(ys, dtype=float)
+    angles = np.asarray(angles, dtype=float)
+    n = xs.shape[0]
+    dx = np.cos(angles) * step
+    dy = np.sin(angles) * step
+    cx = xs.copy()
+    cy = ys.copy()
+    distances = np.full(n, max_range, dtype=float)
+    active = np.ones(n, dtype=bool)
+    n_steps = int(max_range / step)
+    checks = 0
+    for i in range(1, n_steps + 1):
+        if not active.any():
+            break
+        cx[active] += dx[active]
+        cy[active] += dy[active]
+        hit = grid.occupied_world_batch(cx[active], cy[active])
+        checks += int(active.sum())
+        if hit.any():
+            active_idx = np.nonzero(active)[0]
+            hit_idx = active_idx[hit]
+            distances[hit_idx] = i * step
+            active[hit_idx] = False
+    if count is not None:
+        count("raycast_cell_checks", checks)
+    return distances
+
+
+def cast_ray_dda(
+    grid: OccupancyGrid2D,
+    x: float,
+    y: float,
+    angle: float,
+    max_range: float,
+    count: Optional[CountFn] = None,
+) -> float:
+    """Exact ray casting with Amanatides-Woo grid traversal.
+
+    Visits every cell the ray passes through (no step size, no skipped
+    corners) and returns the exact distance to the first occupied cell
+    boundary.  More work per ray than the sampled marcher for coarse
+    steps, but exact — the ablation benchmark compares the two.
+    """
+    res = grid.resolution
+    dir_x = math.cos(angle)
+    dir_y = math.sin(angle)
+    # Current cell and in-cell position.
+    row, col = grid.world_to_cell(x, y)
+    if grid.is_occupied(row, col):
+        return 0.0
+    step_col = 1 if dir_x > 0 else -1
+    step_row = 1 if dir_y > 0 else -1
+    # Parametric distance to the next vertical / horizontal cell border.
+    ox, oy = grid.origin
+    if dir_x > 0:
+        t_max_x = ((col + 1) * res + ox - x) / dir_x
+    elif dir_x < 0:
+        t_max_x = (col * res + ox - x) / dir_x
+    else:
+        t_max_x = math.inf
+    if dir_y > 0:
+        t_max_y = ((row + 1) * res + oy - y) / dir_y
+    elif dir_y < 0:
+        t_max_y = (row * res + oy - y) / dir_y
+    else:
+        t_max_y = math.inf
+    t_delta_x = abs(res / dir_x) if dir_x != 0 else math.inf
+    t_delta_y = abs(res / dir_y) if dir_y != 0 else math.inf
+    t = 0.0
+    checks = 0
+    while t <= max_range:
+        if t_max_x < t_max_y:
+            t = t_max_x
+            t_max_x += t_delta_x
+            col += step_col
+        else:
+            t = t_max_y
+            t_max_y += t_delta_y
+            row += step_row
+        if t > max_range:
+            break
+        checks += 1
+        if grid.is_occupied(row, col):
+            if count is not None:
+                count("raycast_cell_checks", checks)
+            return t
+    if count is not None:
+        count("raycast_cell_checks", checks)
+    return max_range
+
+
+def scan_from_pose(
+    grid: OccupancyGrid2D,
+    x: float,
+    y: float,
+    theta: float,
+    n_beams: int,
+    fov: float = 2.0 * math.pi,
+    max_range: float = 30.0,
+    step: Optional[float] = None,
+) -> np.ndarray:
+    """A full simulated laser scan: ``n_beams`` ranges across ``fov``."""
+    beam_angles = theta + np.linspace(-fov / 2.0, fov / 2.0, n_beams, endpoint=False)
+    xs = np.full(n_beams, x)
+    ys = np.full(n_beams, y)
+    return cast_rays_batch(grid, xs, ys, beam_angles, max_range, step)

@@ -1,0 +1,31 @@
+"""Benchmark harness: ROI hooks, phase profiling, configuration, and runners.
+
+This package is the Python analog of RTRBench's simulation harness.  The C++
+suite communicates regions of interest (ROIs) to the zsim simulator through
+magic-instruction hooks; here the ROI markers drive a deterministic phase
+profiler instead, so every kernel reports where its execution time goes
+(the paper's per-kernel characterization) without a micro-architectural
+simulator.
+"""
+
+from repro.harness.config import KernelConfig, build_arg_parser, config_from_args
+from repro.harness.profiler import PhaseProfiler, PhaseStats
+from repro.harness.roi import ROI, roi_begin, roi_end, set_hooks, SimulatorHooks
+from repro.harness.runner import Kernel, KernelResult, registry, run_kernel
+
+__all__ = [
+    "KernelConfig",
+    "build_arg_parser",
+    "config_from_args",
+    "PhaseProfiler",
+    "PhaseStats",
+    "ROI",
+    "roi_begin",
+    "roi_end",
+    "set_hooks",
+    "SimulatorHooks",
+    "Kernel",
+    "KernelResult",
+    "registry",
+    "run_kernel",
+]

@@ -1,0 +1,123 @@
+"""``rtrbench`` command-line entry point.
+
+Usage mirrors the paper's per-kernel binaries (Fig. 20): every kernel gets
+its own sub-command whose ``--help`` lists all configuration options with
+defaults.
+
+    rtrbench list
+    rtrbench run pp2d --rows 256 --seed 7
+    rtrbench run rrt --help
+    rtrbench run pp2d --inputset dense-city
+    rtrbench inputsets pp2d
+    rtrbench characterize
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Optional
+
+from repro.harness.config import build_arg_parser, config_from_args
+from repro.harness.reporting import result_summary
+from repro.harness.runner import load_all_kernels, registry
+
+
+def _cmd_list() -> int:
+    load_all_kernels()
+    for name in registry.names():
+        cls = registry.get(name)
+        print(f"{name:<14} {cls.stage:<11} {cls.description}")
+    return 0
+
+
+def _cmd_run(argv: List[str]) -> int:
+    if not argv:
+        print("usage: rtrbench run <kernel> [options]", file=sys.stderr)
+        return 2
+    load_all_kernels()
+    name, rest = argv[0], argv[1:]
+    try:
+        cls = registry.get(name)
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    # --inputset <name> expands into configuration overrides before the
+    # regular option parse, so explicit flags still win.
+    if "--inputset" in rest:
+        from repro.envs.inputsets import inputset_overrides
+
+        i = rest.index("--inputset")
+        try:
+            inputset = rest[i + 1]
+        except IndexError:
+            print("error: --inputset requires a name", file=sys.stderr)
+            return 2
+        try:
+            overrides = inputset_overrides(name, inputset)
+        except KeyError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        expanded = []
+        for key, value in overrides.items():
+            expanded.append("--" + key.replace("_", "-"))
+            expanded.append(str(value))
+        rest = expanded + rest[:i] + rest[i + 2 :]
+    config = config_from_args(cls.config_cls, rest, prog=f"rtrbench run {name}")
+    result = cls().run(config)
+    print(result_summary(result))
+    if config.output:
+        with open(config.output, "w") as fh:
+            fh.write(result_summary(result) + "\n")
+    return 0
+
+
+def _cmd_inputsets(argv: List[str]) -> int:
+    from repro.envs.inputsets import INPUTSETS, inputset_names
+
+    kernels = argv if argv else sorted(INPUTSETS)
+    for kernel in kernels:
+        try:
+            names = inputset_names(kernel)
+        except KeyError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"{kernel}: {', '.join(names)}")
+    return 0
+
+
+def _cmd_characterize(argv: List[str]) -> int:
+    from repro.experiments.characterization import (
+        render_characterization,
+        run_characterization,
+    )
+
+    kernels = None
+    if argv:
+        load_all_kernels()
+        kernels = [registry.get(name).name for name in argv]
+    rows = run_characterization(kernels)
+    print(render_characterization(rows))
+    return 0 if all(r.matches_paper for r in rows) else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI dispatcher; returns a process exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        print(__doc__)
+        return 0
+    command, rest = argv[0], argv[1:]
+    if command == "list":
+        return _cmd_list()
+    if command == "run":
+        return _cmd_run(rest)
+    if command == "inputsets":
+        return _cmd_inputsets(rest)
+    if command == "characterize":
+        return _cmd_characterize(rest)
+    print(f"error: unknown command {command!r}", file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,62 @@
+"""Plain-text reporting helpers for kernel results and experiment tables."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from repro.harness.runner import KernelResult
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Render a fixed-width text table with a header rule."""
+    materialized: List[List[str]] = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def render(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    lines = [render(list(headers)), render(["-" * w for w in widths])]
+    lines.extend(render(row) for row in materialized)
+    return "\n".join(lines)
+
+
+def result_summary(result: KernelResult) -> str:
+    """One-paragraph summary of a kernel run: ROI time + phase breakdown."""
+    lines = [
+        f"kernel {result.kernel} ({result.stage})",
+        f"ROI time: {result.roi_time:.4f}s",
+        result.profiler.report(),
+    ]
+    if result.metrics:
+        lines.append("metrics:")
+        for key, value in sorted(result.metrics.items()):
+            lines.append(f"  {key} = {value:.6g}")
+    return "\n".join(lines)
+
+
+def characterization_table(results: Iterable[KernelResult]) -> str:
+    """Table-I-style view: kernel, stage, dominant phase, its share."""
+    rows = []
+    for result in results:
+        dominant = result.profiler.dominant_phase() or "-"
+        share = result.profiler.fraction(dominant) if dominant != "-" else 0.0
+        rows.append(
+            [result.kernel, result.stage, dominant, f"{share:.0%}",
+             f"{result.roi_time:.4f}s"]
+        )
+    return format_table(
+        ["kernel", "stage", "dominant phase", "share", "ROI time"], rows
+    )
+
+
+def fractions_table(fractions_by_kernel: Dict[str, Dict[str, float]]) -> str:
+    """Render a kernel -> {phase: share} mapping as a text table."""
+    rows = []
+    for kernel, fractions in fractions_by_kernel.items():
+        for phase, share in sorted(fractions.items(), key=lambda kv: -kv[1]):
+            rows.append([kernel, phase, f"{share:.1%}"])
+    return format_table(["kernel", "phase", "share"], rows)

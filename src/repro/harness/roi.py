@@ -1,0 +1,113 @@
+"""Region-of-interest (ROI) markers.
+
+RTRBench delimits each kernel's measured region with zsim "magic" hooks;
+outside a simulator those hooks execute safely as no-ops (paper section VI).
+This module reproduces that contract: kernels call :func:`roi_begin` /
+:func:`roi_end` (or use the :class:`ROI` context manager), and whatever
+backend is registered via :func:`set_hooks` observes the markers.  The
+default backend does nothing, so kernels run unperturbed; the test suite and
+the characterization experiments install recording backends.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Protocol, Tuple
+
+
+class SimulatorHooks(Protocol):
+    """Backend notified when a kernel enters/leaves its region of interest."""
+
+    def on_roi_begin(self, name: str) -> None:
+        """Called when the ROI named ``name`` starts."""
+
+    def on_roi_end(self, name: str) -> None:
+        """Called when the ROI named ``name`` ends."""
+
+
+class _NullHooks:
+    """Default backend: ROI markers are safe no-ops (real-execution mode)."""
+
+    def on_roi_begin(self, name: str) -> None:
+        pass
+
+    def on_roi_end(self, name: str) -> None:
+        pass
+
+
+class RecordingHooks:
+    """Backend that records ROI intervals with wall-clock timestamps.
+
+    Useful in tests and experiments to verify ROI placement and to measure
+    ROI-only execution time, mirroring how zsim reports only the ROI.
+    """
+
+    def __init__(self) -> None:
+        self.events: List[Tuple[str, str, float]] = []
+        self._open: List[Tuple[str, float]] = []
+        self.intervals: List[Tuple[str, float]] = []
+
+    def on_roi_begin(self, name: str) -> None:
+        """Record an ROI start event."""
+        now = time.perf_counter()
+        self.events.append(("begin", name, now))
+        self._open.append((name, now))
+
+    def on_roi_end(self, name: str) -> None:
+        """Record an ROI end event; closes the matching begin."""
+        now = time.perf_counter()
+        self.events.append(("end", name, now))
+        if not self._open:
+            raise RuntimeError(f"roi_end({name!r}) without matching roi_begin")
+        open_name, start = self._open.pop()
+        if open_name != name:
+            raise RuntimeError(
+                f"mismatched ROI markers: begin({open_name!r}) closed by end({name!r})"
+            )
+        self.intervals.append((name, now - start))
+
+    def total_time(self, name: Optional[str] = None) -> float:
+        """Total recorded ROI seconds, optionally filtered by ROI name."""
+        return sum(dt for n, dt in self.intervals if name is None or n == name)
+
+
+_hooks: SimulatorHooks = _NullHooks()
+
+
+def set_hooks(hooks: Optional[SimulatorHooks]) -> SimulatorHooks:
+    """Install a simulator-hook backend; ``None`` restores the no-op backend.
+
+    Returns the previously installed backend so callers can restore it.
+    """
+    global _hooks
+    previous = _hooks
+    _hooks = hooks if hooks is not None else _NullHooks()
+    return previous
+
+
+def roi_begin(name: str = "roi") -> None:
+    """Mark the start of a region of interest."""
+    _hooks.on_roi_begin(name)
+
+
+def roi_end(name: str = "roi") -> None:
+    """Mark the end of a region of interest."""
+    _hooks.on_roi_end(name)
+
+
+class ROI:
+    """Context manager marking a region of interest.
+
+    >>> with ROI("planning"):
+    ...     pass  # measured region
+    """
+
+    def __init__(self, name: str = "roi") -> None:
+        self.name = name
+
+    def __enter__(self) -> "ROI":
+        roi_begin(self.name)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        roi_end(self.name)

@@ -1,0 +1,171 @@
+"""Kernel runner protocol and registry.
+
+Every RTRBench kernel is exposed as a :class:`Kernel` subclass that knows
+its pipeline stage, its configuration dataclass, and how to run itself
+under a :class:`~repro.harness.profiler.PhaseProfiler`.  The registry maps
+the paper's kernel names (``01.pfl`` ... ``16.bo``) to implementations so
+experiments and the ``rtrbench`` CLI can enumerate the whole suite.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Type
+
+from repro.harness.config import KernelConfig
+from repro.harness.profiler import PhaseProfiler
+from repro.harness.roi import roi_begin, roi_end
+
+
+@dataclass
+class KernelResult:
+    """Outcome of one kernel run.
+
+    ``output`` is kernel-specific (a path, an estimate trace, a policy...);
+    ``profiler`` holds the phase breakdown measured inside the ROI;
+    ``roi_time`` is the wall-clock duration of the region of interest.
+    """
+
+    kernel: str
+    stage: str
+    output: Any
+    profiler: PhaseProfiler
+    roi_time: float
+    config: Optional[KernelConfig] = None
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+    def fraction(self, phase: str) -> float:
+        """Convenience passthrough to the profiler's phase share."""
+        return self.profiler.fraction(phase)
+
+
+class Kernel:
+    """Base class for suite kernels.
+
+    Subclasses set :attr:`name` (paper id, e.g. ``"04.pp2d"``),
+    :attr:`stage` (``perception`` / ``planning`` / ``control``),
+    :attr:`config_cls`, and implement :meth:`run_roi`, which receives the
+    configuration and a profiler and returns the kernel output.  Workload
+    construction that the paper treats as outside the ROI (map loading,
+    offline phases explicitly noted as offline) belongs in :meth:`setup`.
+    """
+
+    name: str = "kernel"
+    stage: str = "unknown"
+    config_cls: Type[KernelConfig] = KernelConfig
+    description: str = ""
+
+    def setup(self, config: KernelConfig) -> Any:
+        """Build the workload (outside the ROI).  Returns setup state."""
+        return None
+
+    def run_roi(
+        self, config: KernelConfig, state: Any, profiler: PhaseProfiler
+    ) -> Any:
+        """Execute the measured region.  Must be overridden."""
+        raise NotImplementedError
+
+    def run(self, config: Optional[KernelConfig] = None) -> KernelResult:
+        """Set up, execute the ROI under a fresh profiler, and package results."""
+        if config is None:
+            config = self.config_cls()
+        state = self.setup(config)
+        profiler = PhaseProfiler()
+        roi_begin(self.name)
+        t0 = time.perf_counter()
+        output = self.run_roi(config, state, profiler)
+        roi_time = time.perf_counter() - t0
+        roi_end(self.name)
+        return KernelResult(
+            kernel=self.name,
+            stage=self.stage,
+            output=output,
+            profiler=profiler,
+            roi_time=roi_time,
+            config=config,
+        )
+
+
+class KernelRegistry:
+    """Name -> kernel class mapping for the whole suite."""
+
+    def __init__(self) -> None:
+        self._kernels: Dict[str, Type[Kernel]] = {}
+
+    def register(self, cls: Type[Kernel]) -> Type[Kernel]:
+        """Class decorator: add ``cls`` to the registry under ``cls.name``."""
+        if cls.name in self._kernels:
+            raise ValueError(f"duplicate kernel name {cls.name!r}")
+        self._kernels[cls.name] = cls
+        return cls
+
+    def get(self, name: str) -> Type[Kernel]:
+        """Look up a kernel by exact name or unique suffix (``pp2d``)."""
+        if name in self._kernels:
+            return self._kernels[name]
+        matches = [
+            cls
+            for key, cls in self._kernels.items()
+            if key.split(".", 1)[-1] == name
+        ]
+        if len(matches) == 1:
+            return matches[0]
+        if not matches:
+            raise KeyError(f"unknown kernel {name!r}")
+        raise KeyError(f"ambiguous kernel name {name!r}")
+
+    def names(self) -> List[str]:
+        """All registered kernel names, in paper order."""
+        return sorted(self._kernels)
+
+    def by_stage(self, stage: str) -> List[Type[Kernel]]:
+        """All kernels belonging to one pipeline stage."""
+        return [
+            self._kernels[name]
+            for name in self.names()
+            if self._kernels[name].stage == stage
+        ]
+
+
+registry = KernelRegistry()
+
+
+def run_kernel(
+    name: str, config: Optional[KernelConfig] = None, **overrides: Any
+) -> KernelResult:
+    """Instantiate and run a registered kernel by name.
+
+    ``overrides`` patch fields on the kernel's default configuration,
+    mirroring command-line options.  The full suite is imported on first
+    use, so callers never need to call :func:`load_all_kernels` first.
+    """
+    load_all_kernels()
+    cls = registry.get(name)
+    kernel = cls()
+    if config is None:
+        config = cls.config_cls(**overrides) if overrides else cls.config_cls()
+    elif overrides:
+        config = config.replace(**overrides)
+    return kernel.run(config)
+
+
+def load_all_kernels() -> None:
+    """Import every kernel module so the full suite is registered."""
+    # Imports are local so substrate modules stay importable standalone.
+    import repro.perception.particle_filter  # noqa: F401
+    import repro.perception.ekf_slam  # noqa: F401
+    import repro.perception.scene_recon  # noqa: F401
+    import repro.planning.pp2d  # noqa: F401
+    import repro.planning.pp3d  # noqa: F401
+    import repro.planning.moving_target  # noqa: F401
+    import repro.planning.prm  # noqa: F401
+    import repro.planning.rrt  # noqa: F401
+    import repro.planning.rrt_star  # noqa: F401
+    import repro.planning.rrt_postprocess  # noqa: F401
+    import repro.planning.rrt_connect  # noqa: F401  (extension kernel)
+    import repro.planning.symbolic.kernels  # noqa: F401
+    import repro.control.dmp  # noqa: F401
+    import repro.control.mpc  # noqa: F401
+    import repro.control.cem  # noqa: F401
+    import repro.control.bayesopt  # noqa: F401

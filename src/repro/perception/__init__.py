@@ -1,0 +1,24 @@
+"""Perception kernels: localization, SLAM, and scene reconstruction.
+
+The suite's perception stage (paper Table I):
+
+* ``01.pfl``   — particle filter localization (:mod:`.particle_filter`)
+* ``02.ekfslam`` — EKF simultaneous localization and mapping (:mod:`.ekf_slam`)
+* ``03.srec``  — ICP-based 3D scene reconstruction (:mod:`.scene_recon`)
+"""
+
+from repro.perception.ekf_slam import EKFSlam, EkfSlamKernel
+from repro.perception.icp import ICPResult, icp
+from repro.perception.particle_filter import ParticleFilter, PflKernel
+from repro.perception.scene_recon import SceneReconstruction, SrecKernel
+
+__all__ = [
+    "EKFSlam",
+    "EkfSlamKernel",
+    "ICPResult",
+    "icp",
+    "ParticleFilter",
+    "PflKernel",
+    "SceneReconstruction",
+    "SrecKernel",
+]

@@ -1,0 +1,252 @@
+"""Iterative closest point (ICP) registration.
+
+The srec kernel reconstructs a scene by reconciling successive point
+clouds with ICP (paper section V.3, following KinectFusion-style point
+registration).  Each iteration finds nearest-neighbor correspondences
+(the irregular-memory phase the paper calls out), estimates the optimal
+rigid transform (the matrix-operation phase), and applies it.
+
+Two error metrics are provided:
+
+* **point-to-point** (default) — the classic Kabsch/SVD closed form;
+* **point-to-plane** — the KinectFusion-style linearized solve against
+  target surface normals (:func:`estimate_normals`), which converges in
+  fewer iterations on the flat surfaces that dominate indoor scenes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.geometry.kdtree import KDTree
+from repro.geometry.transforms import RigidTransform3D
+from repro.harness.profiler import PhaseProfiler
+
+
+@dataclass
+class ICPResult:
+    """Outcome of one ICP registration."""
+
+    transform: RigidTransform3D
+    iterations: int
+    converged: bool
+    rms_error: float
+    error_history: List[float] = field(default_factory=list)
+
+
+def best_fit_transform(
+    source: np.ndarray, target: np.ndarray
+) -> RigidTransform3D:
+    """Least-squares rigid transform mapping ``source`` onto ``target``.
+
+    Kabsch algorithm: SVD of the cross-covariance of the centered point
+    sets, with the reflection guard on det(R).
+    """
+    src_centroid = source.mean(axis=0)
+    tgt_centroid = target.mean(axis=0)
+    src_centered = source - src_centroid
+    tgt_centered = target - tgt_centroid
+    covariance = src_centered.T @ tgt_centered
+    u, _, vt = np.linalg.svd(covariance)
+    d = np.sign(np.linalg.det(vt.T @ u.T))
+    correction = np.diag([1.0, 1.0, d])
+    rotation = vt.T @ correction @ u.T
+    translation = tgt_centroid - rotation @ src_centroid
+    return RigidTransform3D(rotation=rotation, translation=translation)
+
+
+def estimate_normals(points: np.ndarray, k: int = 12) -> np.ndarray:
+    """Per-point surface normals by local PCA.
+
+    Each point's normal is the least-variance eigenvector of its
+    k-nearest-neighborhood covariance.  Sign is not disambiguated (the
+    point-to-plane residual squares it away).
+    """
+    points = np.asarray(points, dtype=float)
+    n = len(points)
+    if n < 3:
+        raise ValueError("need at least 3 points to estimate normals")
+    k = min(k, n - 1)
+    normals = np.empty_like(points)
+    # Chunked all-pairs distances keep memory bounded.
+    sq = np.einsum("ij,ij->i", points, points)
+    chunk = 512
+    for lo in range(0, n, chunk):
+        block = points[lo : lo + chunk]
+        d2 = (
+            np.einsum("ij,ij->i", block, block)[:, None]
+            - 2.0 * block @ points.T
+            + sq[None, :]
+        )
+        neighbor_idx = np.argpartition(d2, kth=k, axis=1)[:, : k + 1]
+        for row, idx in enumerate(neighbor_idx):
+            neighborhood = points[idx]
+            centered = neighborhood - neighborhood.mean(axis=0)
+            cov = centered.T @ centered
+            eigenvalues, eigenvectors = np.linalg.eigh(cov)
+            normals[lo + row] = eigenvectors[:, 0]  # smallest eigenvalue
+    return normals
+
+
+def best_fit_point_to_plane(
+    source: np.ndarray, target: np.ndarray, normals: np.ndarray
+) -> RigidTransform3D:
+    """Linearized point-to-plane alignment step.
+
+    Minimizes ``sum(((R p + t - q) . n)^2)`` under the small-angle
+    approximation ``R ~ I + [w]x``; unknowns are ``(w, t)``.  The
+    resulting ``w`` is re-orthogonalized into a proper rotation with the
+    Rodrigues formula, so the returned transform is exactly rigid.
+    """
+    p = np.asarray(source, dtype=float)
+    q = np.asarray(target, dtype=float)
+    n = np.asarray(normals, dtype=float)
+    a = np.hstack([np.cross(p, n), n])  # (m, 6)
+    b = -np.einsum("ij,ij->i", p - q, n)
+    solution, *_ = np.linalg.lstsq(a, b, rcond=None)
+    omega, translation = solution[:3], solution[3:]
+    angle = float(np.linalg.norm(omega))
+    if angle < 1e-12:
+        rotation = np.eye(3)
+    else:
+        axis = omega / angle
+        k_mat = np.array(
+            [
+                [0.0, -axis[2], axis[1]],
+                [axis[2], 0.0, -axis[0]],
+                [-axis[1], axis[0], 0.0],
+            ]
+        )
+        rotation = (
+            np.eye(3)
+            + math.sin(angle) * k_mat
+            + (1.0 - math.cos(angle)) * (k_mat @ k_mat)
+        )
+    return RigidTransform3D(rotation=rotation, translation=translation)
+
+
+def icp(
+    source: np.ndarray,
+    target: np.ndarray,
+    max_iterations: int = 30,
+    tolerance: float = 1e-6,
+    max_correspondence_distance: Optional[float] = None,
+    initial: Optional[RigidTransform3D] = None,
+    profiler: Optional[PhaseProfiler] = None,
+    correspondence: str = "kdtree",
+    metric: str = "point_to_point",
+) -> ICPResult:
+    """Register ``source`` onto ``target`` (both ``(n, 3)`` arrays).
+
+    Phases reported to the profiler: ``correspondence`` (nearest
+    neighbors), ``transform_estimation`` (SVD solve), ``apply_transform``
+    (point updates).  Convergence is declared when the RMS correspondence
+    error improves by less than ``tolerance`` between iterations.
+
+    ``correspondence`` selects the matcher: ``"kdtree"`` (the instrumented
+    tree with per-query node-visit counts) or ``"brute"`` (a vectorized
+    all-pairs distance matrix — faster in numpy for the sizes srec fuses,
+    and the same memory-bandwidth-bound behaviour the paper describes).
+
+    ``metric`` selects the alignment step: ``"point_to_point"`` (Kabsch)
+    or ``"point_to_plane"`` (linearized solve against target normals,
+    estimated once per call).
+    """
+    if correspondence not in ("kdtree", "brute"):
+        raise ValueError("correspondence must be 'kdtree' or 'brute'")
+    if metric not in ("point_to_point", "point_to_plane"):
+        raise ValueError(
+            "metric must be 'point_to_point' or 'point_to_plane'"
+        )
+    prof = profiler if profiler is not None else PhaseProfiler()
+    source = np.asarray(source, dtype=float)
+    target = np.asarray(target, dtype=float)
+    if source.ndim != 2 or source.shape[1] != 3:
+        raise ValueError("source must be (n, 3)")
+    if target.ndim != 2 or target.shape[1] != 3:
+        raise ValueError("target must be (n, 3)")
+
+    with prof.phase("correspondence"):
+        tree = KDTree.build(target) if correspondence == "kdtree" else None
+        target_normals = (
+            estimate_normals(target) if metric == "point_to_plane" else None
+        )
+
+    current = source if initial is None else initial.apply(source)
+    accumulated = initial if initial is not None else RigidTransform3D.identity()
+    previous_error = float("inf")
+    history: List[float] = []
+    converged = False
+    iterations = 0
+
+    for iterations in range(1, max_iterations + 1):
+        with prof.phase("correspondence"):
+            matched_idx = np.empty(len(current), dtype=int)
+            if tree is not None:
+                matched_target = np.empty_like(current)
+                distances = np.empty(len(current))
+                for i, point in enumerate(current):
+                    nn_point, payload, d = tree.nearest(point, count=prof.count)
+                    matched_target[i] = nn_point
+                    matched_idx[i] = payload
+                    distances[i] = d
+            else:
+                # All-pairs squared distances, chunked to bound memory.
+                matched_target = np.empty_like(current)
+                distances = np.empty(len(current))
+                chunk = 512
+                tgt_sq = np.einsum("ij,ij->i", target, target)
+                for lo in range(0, len(current), chunk):
+                    block = current[lo : lo + chunk]
+                    d2 = (
+                        np.einsum("ij,ij->i", block, block)[:, None]
+                        - 2.0 * block @ target.T
+                        + tgt_sq[None, :]
+                    )
+                    idx = np.argmin(d2, axis=1)
+                    matched_target[lo : lo + chunk] = target[idx]
+                    matched_idx[lo : lo + chunk] = idx
+                    rows = np.arange(len(block))
+                    distances[lo : lo + chunk] = np.sqrt(
+                        np.maximum(0.0, d2[rows, idx])
+                    )
+                prof.count("nn_node_visits", len(current) * len(target))
+        if max_correspondence_distance is not None:
+            mask = distances <= max_correspondence_distance
+            if mask.sum() < 3:
+                break
+        else:
+            mask = np.ones(len(current), dtype=bool)
+        with prof.phase("transform_estimation"):
+            if target_normals is not None:
+                delta = best_fit_point_to_plane(
+                    current[mask],
+                    matched_target[mask],
+                    target_normals[matched_idx[mask]],
+                )
+            else:
+                delta = best_fit_transform(
+                    current[mask], matched_target[mask]
+                )
+            prof.count("svd_solves", 1)
+        with prof.phase("apply_transform"):
+            current = delta.apply(current)
+            accumulated = delta.compose(accumulated)
+        rms = float(np.sqrt(np.mean(distances[mask] ** 2)))
+        history.append(rms)
+        if abs(previous_error - rms) < tolerance:
+            converged = True
+            break
+        previous_error = rms
+
+    return ICPResult(
+        transform=accumulated,
+        iterations=iterations,
+        converged=converged,
+        rms_error=history[-1] if history else float("inf"),
+        error_history=history,
+    )

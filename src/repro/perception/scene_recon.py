@@ -1,0 +1,202 @@
+"""Kernel 03.srec — 3D scene reconstruction in dynamic scenes (V.3).
+
+The robot's camera produces a sequence of point-cloud scans under unknown
+(to the algorithm) motion; reconstruction registers each incoming scan
+against the running model with ICP and fuses the aligned points into a
+voxel-deduplicated global map, following the point-based-fusion approach
+of Keller et al. that the paper implements.  Phases: ``correspondence``
+(ICP nearest neighbors — the irregular memory traffic the paper measures
+at >68% of time), ``transform_estimation`` (SVD), ``apply_transform``,
+and ``fusion`` (model update).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.envs.pointcloud import SimulatedScan, living_room, scan_trajectory
+from repro.geometry.transforms import RigidTransform3D
+from repro.harness.config import KernelConfig, option
+from repro.harness.profiler import PhaseProfiler
+from repro.harness.runner import Kernel, registry
+from repro.perception.icp import icp
+
+
+class SceneReconstruction:
+    """Incremental point-based scene model built by ICP registration.
+
+    ``integrate`` aligns a new scan to the current model and merges the
+    aligned points, deduplicating at ``fusion_voxel`` resolution so the
+    model grows with *scene coverage* rather than frame count.
+    """
+
+    def __init__(
+        self,
+        fusion_voxel: float = 0.05,
+        icp_iterations: int = 20,
+        icp_subsample: int = 1500,
+        profiler: Optional[PhaseProfiler] = None,
+    ) -> None:
+        if fusion_voxel <= 0:
+            raise ValueError("fusion_voxel must be positive")
+        self.fusion_voxel = float(fusion_voxel)
+        self.icp_iterations = int(icp_iterations)
+        self.icp_subsample = int(icp_subsample)
+        self.profiler = profiler if profiler is not None else PhaseProfiler()
+        self._voxels: Dict[Tuple[int, int, int], np.ndarray] = {}
+        self.poses: List[RigidTransform3D] = []
+
+    # -- model access -----------------------------------------------------------
+
+    @property
+    def n_points(self) -> int:
+        """Number of fused model points."""
+        return len(self._voxels)
+
+    def model_points(self) -> np.ndarray:
+        """The fused model as an ``(n, 3)`` array."""
+        if not self._voxels:
+            return np.empty((0, 3))
+        return np.vstack(list(self._voxels.values()))
+
+    # -- integration ---------------------------------------------------------------
+
+    def integrate(self, scan_points: np.ndarray) -> RigidTransform3D:
+        """Register one scan against the model and fuse it.
+
+        The first scan defines the world frame.  Returns the estimated
+        camera pose of the scan.
+        """
+        prof = self.profiler
+        scan_points = np.asarray(scan_points, dtype=float)
+        if not self._voxels:
+            pose = RigidTransform3D.identity()
+            self._fuse(scan_points)
+            self.poses.append(pose)
+            return pose
+        model = self.model_points()
+        rng = np.random.default_rng(len(self.poses))
+        src = scan_points
+        if len(src) > self.icp_subsample:
+            src = src[rng.choice(len(src), self.icp_subsample, replace=False)]
+        if len(model) > 2 * self.icp_subsample:
+            model = model[
+                rng.choice(len(model), 2 * self.icp_subsample, replace=False)
+            ]
+        initial = self.poses[-1]  # motion prior: previous camera pose
+        result = icp(
+            src,
+            model,
+            max_iterations=self.icp_iterations,
+            initial=initial,
+            profiler=prof,
+            correspondence="brute",
+        )
+        pose = result.transform
+        with prof.phase("fusion"):
+            self._fuse(pose.apply(scan_points))
+        self.poses.append(pose)
+        return pose
+
+    def _fuse(self, world_points: np.ndarray) -> None:
+        """Voxel-deduplicated point merge (running average per voxel).
+
+        Keys round to the nearest voxel *center*, so flat surfaces lying
+        on lattice-aligned coordinates sit mid-voxel instead of exactly on
+        a boundary — otherwise sub-millimeter registration jitter flips
+        half of a planar scene into neighboring voxels every frame.
+        """
+        keys = np.floor(world_points / self.fusion_voxel + 0.5).astype(int)
+        for key, point in zip(map(tuple, keys), world_points):
+            existing = self._voxels.get(key)
+            if existing is None:
+                self._voxels[key] = point.copy()
+            else:
+                self._voxels[key] = 0.5 * (existing + point)
+        self.profiler.count("fused_points", len(world_points))
+
+
+# -- workload -----------------------------------------------------------------------
+
+
+@dataclass
+class SrecWorkload:
+    """The scan sequence plus ground truth for error evaluation."""
+
+    scans: List[SimulatedScan]
+    scene: np.ndarray
+
+
+def make_srec_workload(
+    n_frames: int = 6,
+    scene_points: int = 9000,
+    scan_points: int = 1800,
+    noise_sigma: float = 0.004,
+    seed: int = 0,
+) -> SrecWorkload:
+    """Simulated living-room scan sequence (ICL-NUIM substitute)."""
+    scene = living_room(n_points=scene_points, seed=seed)
+    scans = scan_trajectory(
+        scene,
+        n_frames=n_frames,
+        n_points=scan_points,
+        noise_sigma=noise_sigma,
+        seed=seed + 1,
+    )
+    return SrecWorkload(scans=scans, scene=scene)
+
+
+# -- kernel --------------------------------------------------------------------------
+
+
+@dataclass
+class SrecConfig(KernelConfig):
+    """Configuration of the srec kernel."""
+
+    frames: int = option(6, "Number of camera frames to fuse")
+    scan_points: int = option(1800, "Points per scan")
+    scene_points: int = option(9000, "Points in the underlying scene")
+    icp_iterations: int = option(15, "Max ICP iterations per frame")
+    noise_sigma: float = option(0.004, "Sensor noise std dev (m)")
+
+
+@registry.register
+class SrecKernel(Kernel):
+    """Scene reconstruction over the synthetic living room."""
+
+    name = "03.srec"
+    stage = "perception"
+    config_cls = SrecConfig
+    description = "ICP scene reconstruction (memory/NN bound)"
+
+    def setup(self, config: SrecConfig) -> SrecWorkload:
+        return make_srec_workload(
+            n_frames=config.frames,
+            scene_points=config.scene_points,
+            scan_points=config.scan_points,
+            noise_sigma=config.noise_sigma,
+            seed=config.seed,
+        )
+
+    def run_roi(
+        self, config: SrecConfig, state: SrecWorkload, profiler: PhaseProfiler
+    ) -> dict:
+        recon = SceneReconstruction(
+            icp_iterations=config.icp_iterations, profiler=profiler
+        )
+        pose_errors = []
+        for scan in state.scans:
+            estimated = recon.integrate(scan.points)
+            true = scan.true_pose
+            pose_errors.append(
+                float(np.linalg.norm(estimated.translation - true.translation))
+            )
+        return {
+            "pose_errors": pose_errors,
+            "final_pose_error": pose_errors[-1],
+            "model_points": recon.n_points,
+            "recon": recon,
+        }

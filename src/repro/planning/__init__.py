@@ -1,0 +1,41 @@
+"""Planning kernels: graph-search, sampling-based, and symbolic planners.
+
+The suite's planning stage (paper Table I):
+
+* ``04.pp2d``   — 2D mobile-robot path planning (:mod:`.pp2d`)
+* ``05.pp3d``   — 3D UAV path planning (:mod:`.pp3d`)
+* ``06.movtar`` — moving-target pursuit with Weighted A* (:mod:`.moving_target`)
+* ``07.prm``    — probabilistic roadmaps for an arm (:mod:`.prm`)
+* ``08.rrt``    — rapidly-exploring random trees (:mod:`.rrt`)
+* ``09.rrtstar``— asymptotically optimal RRT* (:mod:`.rrt_star`)
+* ``10.rrtpp``  — RRT with shortcutting post-processing (:mod:`.rrt_postprocess`)
+* ``11.sym-blkw`` / ``12.sym-fext`` — symbolic planning (:mod:`.symbolic`)
+
+:mod:`.baselines` holds the deliberately naive "educational" planner used
+by the Fig. 21 library comparison.
+"""
+
+from repro.planning.moving_target import MovingTargetKernel, MovingTargetPlanner
+from repro.planning.pp2d import GridPlanningSpace2D, Pp2dKernel
+from repro.planning.pp3d import GridPlanningSpace3D, Pp3dKernel
+from repro.planning.prm import PrmKernel, ProbabilisticRoadmap
+from repro.planning.rrt import RRT, RrtKernel
+from repro.planning.rrt_postprocess import RrtPpKernel, shortcut_path
+from repro.planning.rrt_star import RRTStar, RrtStarKernel
+
+__all__ = [
+    "MovingTargetKernel",
+    "MovingTargetPlanner",
+    "GridPlanningSpace2D",
+    "Pp2dKernel",
+    "GridPlanningSpace3D",
+    "Pp3dKernel",
+    "PrmKernel",
+    "ProbabilisticRoadmap",
+    "RRT",
+    "RrtKernel",
+    "RRTStar",
+    "RrtStarKernel",
+    "RrtPpKernel",
+    "shortcut_path",
+]

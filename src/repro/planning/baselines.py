@@ -1,0 +1,186 @@
+"""Educational-library baseline planner for the Fig. 21 comparison.
+
+Section VII of the paper compares its optimized pp2d against
+PythonRobotics' ``a_star.py`` and CppRobotics' ``a_star.cpp`` and
+attributes their slowness to (i) interpreter-heavy, per-element code and
+(ii) needless copying of large data structures.  :class:`EducationalAStar`
+reproduces those pathologies faithfully *inside* Python so the comparison
+is runtime-for-runtime:
+
+* the obstacle map is rebuilt on **every** planning call, cell by cell,
+  by scanning the full obstacle point list per cell (PythonRobotics'
+  ``calc_obstacle_map``);
+* the open set is a dict whose minimum is found with a linear scan per
+  expansion (PythonRobotics' ``min(open_set, key=...)``);
+* the obstacle map is deep-copied before the search (CppRobotics'
+  pass-by-value).
+
+The optimized counterpart is :func:`repro.planning.pp2d.plan_2d`.
+"""
+
+from __future__ import annotations
+
+import copy
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.geometry.grid2d import OccupancyGrid2D
+
+
+@dataclass
+class EducationalPlanResult:
+    """Outcome of an educational-baseline planning call."""
+
+    found: bool
+    path_x: List[float]
+    path_y: List[float]
+    expansions: int
+
+
+class _Node:
+    """Per-cell search node, allocated per expansion (as in P-Rob)."""
+
+    def __init__(self, x: int, y: int, cost: float, parent: int) -> None:
+        self.x = x
+        self.y = y
+        self.cost = cost
+        self.parent = parent
+
+
+def grid_to_obstacle_points(grid: OccupancyGrid2D) -> Tuple[List[float], List[float]]:
+    """Flatten a grid's occupied cells into the point lists P-Rob consumes."""
+    rows, cols = np.nonzero(grid.cells)
+    xs = (cols + 0.5) * grid.resolution + grid.origin[0]
+    ys = (rows + 0.5) * grid.resolution + grid.origin[1]
+    return xs.tolist(), ys.tolist()
+
+
+class EducationalAStar:
+    """A deliberately naive A* in the style of PythonRobotics."""
+
+    _MOTION = [
+        (1, 0, 1.0), (0, 1, 1.0), (-1, 0, 1.0), (0, -1, 1.0),
+        (-1, -1, math.sqrt(2)), (-1, 1, math.sqrt(2)),
+        (1, -1, math.sqrt(2)), (1, 1, math.sqrt(2)),
+    ]
+
+    def __init__(
+        self,
+        obstacle_x: List[float],
+        obstacle_y: List[float],
+        resolution: float,
+        robot_radius: float,
+    ) -> None:
+        if len(obstacle_x) != len(obstacle_y):
+            raise ValueError("obstacle coordinate lists must match")
+        self.obstacle_x = list(obstacle_x)
+        self.obstacle_y = list(obstacle_y)
+        self.resolution = float(resolution)
+        self.robot_radius = float(robot_radius)
+
+    # -- the P-Rob-style obstacle map, rebuilt per call ------------------------
+
+    def _calc_obstacle_map(self) -> Tuple[List[List[bool]], float, float, int, int]:
+        min_x = min(self.obstacle_x)
+        min_y = min(self.obstacle_y)
+        max_x = max(self.obstacle_x)
+        max_y = max(self.obstacle_y)
+        width = int(round((max_x - min_x) / self.resolution)) + 1
+        height = int(round((max_y - min_y) / self.resolution)) + 1
+        obstacle_map = [[False for _ in range(height)] for _ in range(width)]
+        # The faithful O(cells * obstacle_points) double loop.
+        for ix in range(width):
+            x = ix * self.resolution + min_x
+            for iy in range(height):
+                y = iy * self.resolution + min_y
+                for ox, oy in zip(self.obstacle_x, self.obstacle_y):
+                    if math.hypot(ox - x, oy - y) <= self.robot_radius:
+                        obstacle_map[ix][iy] = True
+                        break
+        return obstacle_map, min_x, min_y, width, height
+
+    def plan(
+        self, sx: float, sy: float, gx: float, gy: float
+    ) -> EducationalPlanResult:
+        """Plan from (sx, sy) to (gx, gy) in world coordinates."""
+        obstacle_map, min_x, min_y, width, height = self._calc_obstacle_map()
+        # C-Rob's pass-by-value: the map is copied into the search.
+        obstacle_map = copy.deepcopy(obstacle_map)
+
+        def to_index(x: float, minimum: float) -> int:
+            return int(round((x - minimum) / self.resolution))
+
+        start = _Node(to_index(sx, min_x), to_index(sy, min_y), 0.0, -1)
+        goal = _Node(to_index(gx, min_x), to_index(gy, min_y), 0.0, -1)
+        open_set: Dict[int, _Node] = {}
+        closed_set: Dict[int, _Node] = {}
+        open_set[start.y * width + start.x] = start
+        expansions = 0
+
+        while open_set:
+            # The linear-scan argmin over the entire open set.
+            current_id = min(
+                open_set,
+                key=lambda oid: open_set[oid].cost
+                + math.hypot(
+                    goal.x - open_set[oid].x, goal.y - open_set[oid].y
+                )
+                * self.resolution,
+            )
+            current = open_set.pop(current_id)
+            expansions += 1
+            if current.x == goal.x and current.y == goal.y:
+                goal.parent = current.parent
+                goal.cost = current.cost
+                closed_set[current_id] = current
+                path_x, path_y = self._final_path(
+                    goal, closed_set, width, min_x, min_y
+                )
+                return EducationalPlanResult(
+                    found=True,
+                    path_x=path_x,
+                    path_y=path_y,
+                    expansions=expansions,
+                )
+            closed_set[current_id] = current
+            for dx, dy, move_cost in self._MOTION:
+                nx, ny = current.x + dx, current.y + dy
+                node_id = ny * width + nx
+                if not (0 <= nx < width and 0 <= ny < height):
+                    continue
+                if obstacle_map[nx][ny]:
+                    continue
+                if node_id in closed_set:
+                    continue
+                node = _Node(
+                    nx, ny, current.cost + move_cost * self.resolution,
+                    current_id,
+                )
+                if node_id not in open_set or open_set[node_id].cost > node.cost:
+                    open_set[node_id] = node
+        return EducationalPlanResult(
+            found=False, path_x=[], path_y=[], expansions=expansions
+        )
+
+    def _final_path(
+        self,
+        goal: _Node,
+        closed_set: Dict[int, _Node],
+        width: int,
+        min_x: float,
+        min_y: float,
+    ) -> Tuple[List[float], List[float]]:
+        path_x = [goal.x * self.resolution + min_x]
+        path_y = [goal.y * self.resolution + min_y]
+        parent = goal.parent
+        while parent != -1:
+            node = closed_set[parent]
+            path_x.append(node.x * self.resolution + min_x)
+            path_y.append(node.y * self.resolution + min_y)
+            parent = node.parent
+        path_x.reverse()
+        path_y.reverse()
+        return path_x, path_y

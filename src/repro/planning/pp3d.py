@@ -1,0 +1,159 @@
+"""Kernel 05.pp3d — 3D UAV path planning (paper section V.5).
+
+Identical in structure to pp2d but with the z dimension: a small drone
+(one voxel, per the paper's assumption) plans through an outdoor campus
+volume with 26-connected A*.  The paper finds collision detection *and*
+the irregular, hard-to-parallelize graph search are the bottlenecks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.envs.mapgen import campus_like_3d
+from repro.geometry.grid3d import OccupancyGrid3D
+from repro.harness.config import KernelConfig, option
+from repro.harness.profiler import PhaseProfiler
+from repro.harness.runner import Kernel, registry
+from repro.search.astar import SearchResult, weighted_astar
+
+_MOVES_3D: Tuple[Tuple[int, int, int], ...] = tuple(
+    (dz, dy, dx)
+    for dz in (-1, 0, 1)
+    for dy in (-1, 0, 1)
+    for dx in (-1, 0, 1)
+    if (dz, dy, dx) != (0, 0, 0)
+)
+
+
+class GridPlanningSpace3D:
+    """26-connected A* space over a voxel grid for a one-voxel UAV."""
+
+    def __init__(
+        self,
+        grid: OccupancyGrid3D,
+        goal: Tuple[int, int, int],
+        profiler: Optional[PhaseProfiler] = None,
+    ) -> None:
+        self.grid = grid
+        self.goal = goal
+        self.profiler = profiler if profiler is not None else PhaseProfiler()
+
+    def successors(
+        self, state: Tuple[int, int, int]
+    ) -> Iterable[Tuple[Tuple[int, int, int], float]]:
+        """26-connected moves into free voxels."""
+        z, y, x = state
+        grid = self.grid
+        prof = self.profiler
+        # One collision phase per expansion: check all 26 neighbors.
+        with prof.phase("collision"):
+            prof.count("collision_cell_checks", len(_MOVES_3D))
+            valid = [
+                (dz, dy, dx)
+                for dz, dy, dx in _MOVES_3D
+                if not grid.is_occupied(z + dz, y + dy, x + dx)
+            ]
+        for dz, dy, dx in valid:
+            step = math.sqrt(dz * dz + dy * dy + dx * dx) * grid.resolution
+            yield (z + dz, y + dy, x + dx), step
+
+    def heuristic(self, state: Tuple[int, int, int]) -> float:
+        """Euclidean distance to the goal voxel, in meters."""
+        dz = state[0] - self.goal[0]
+        dy = state[1] - self.goal[1]
+        dx = state[2] - self.goal[2]
+        return math.sqrt(dz * dz + dy * dy + dx * dx) * self.grid.resolution
+
+    def is_goal(self, state: Tuple[int, int, int]) -> bool:
+        """Whether the state is the goal voxel."""
+        return state == self.goal
+
+
+def plan_3d(
+    grid: OccupancyGrid3D,
+    start: Tuple[int, int, int],
+    goal: Tuple[int, int, int],
+    epsilon: float = 1.0,
+    profiler: Optional[PhaseProfiler] = None,
+    max_expansions: Optional[int] = None,
+) -> SearchResult:
+    """Plan a 3D route; thin wrapper over Weighted A*."""
+    space = GridPlanningSpace3D(grid, goal, profiler=profiler)
+    return weighted_astar(
+        space, start, epsilon=epsilon, profiler=space.profiler,
+        max_expansions=max_expansions,
+    )
+
+
+def far_apart_free_voxels(
+    grid: OccupancyGrid3D,
+) -> Tuple[Tuple[int, int, int], Tuple[int, int, int]]:
+    """Free voxels near opposite corners at low altitude."""
+    free = np.argwhere(~grid.cells)
+    nz, ny, nx = grid.shape
+
+    def find_near(tz: int, ty: int, tx: int) -> Tuple[int, int, int]:
+        target = np.array([tz, ty, tx])
+        idx = np.argmin(np.abs(free - target).sum(axis=1))
+        return tuple(int(v) for v in free[idx])
+
+    start = find_near(1, int(ny * 0.08), int(nx * 0.08))
+    goal = find_near(1, int(ny * 0.92), int(nx * 0.92))
+    return start, goal
+
+
+@dataclass
+class Pp3dConfig(KernelConfig):
+    """Configuration of the pp3d kernel."""
+
+    nx: int = option(96, "Map x extent in voxels")
+    ny: int = option(96, "Map y extent in voxels")
+    nz: int = option(24, "Map z extent in voxels")
+    resolution: float = option(1.0, "Voxel size (m)")
+    epsilon: float = option(1.0, "Weighted A* heuristic inflation")
+
+
+@dataclass
+class Pp3dWorkload:
+    """Volume plus endpoints for one planning query."""
+
+    grid: OccupancyGrid3D
+    start: Tuple[int, int, int]
+    goal: Tuple[int, int, int]
+
+
+@registry.register
+class Pp3dKernel(Kernel):
+    """3D UAV path planning across the campus-like volume."""
+
+    name = "05.pp3d"
+    stage = "planning"
+    config_cls = Pp3dConfig
+    description = "3D A* drone navigation (collision + search bound)"
+
+    def setup(self, config: Pp3dConfig) -> Pp3dWorkload:
+        grid = campus_like_3d(
+            nx=config.nx,
+            ny=config.ny,
+            nz=config.nz,
+            resolution=config.resolution,
+            seed=config.seed,
+        )
+        start, goal = far_apart_free_voxels(grid)
+        return Pp3dWorkload(grid=grid, start=start, goal=goal)
+
+    def run_roi(
+        self, config: Pp3dConfig, state: Pp3dWorkload, profiler: PhaseProfiler
+    ) -> SearchResult:
+        return plan_3d(
+            state.grid,
+            state.start,
+            state.goal,
+            epsilon=config.epsilon,
+            profiler=profiler,
+        )

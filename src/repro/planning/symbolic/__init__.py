@@ -1,0 +1,27 @@
+"""Symbolic (STRIPS-style) planning (paper sections V.11-V.12).
+
+Problems are described with human-readable ground atoms ("On(A, B)"),
+action schemas with preconditions and effects, and goal conditions; the
+planner searches the induced state graph.  Ground atoms are plain strings
+throughout — matching and substitution are string manipulation, which is
+exactly the second bottleneck the paper reports for these kernels.
+"""
+
+from repro.planning.symbolic.actions import ActionSchema, GroundAction, ground_schemas
+from repro.planning.symbolic.domains import blocks_world, firefighter
+from repro.planning.symbolic.language import atom, parse_atom, substitute
+from repro.planning.symbolic.planner import PlanResult, SymbolicPlanner, SymbolicProblem
+
+__all__ = [
+    "ActionSchema",
+    "GroundAction",
+    "ground_schemas",
+    "blocks_world",
+    "firefighter",
+    "atom",
+    "parse_atom",
+    "substitute",
+    "PlanResult",
+    "SymbolicPlanner",
+    "SymbolicProblem",
+]

@@ -1,0 +1,160 @@
+"""Action schemas and grounding.
+
+An :class:`ActionSchema` is a lifted action (the paper's Fig. 13/14
+``Move(b, x, y)`` with preconditions and effects over variables); a
+:class:`GroundAction` is one fully substituted instance.  Grounding
+enumerates object tuples, substitutes them into the templates (string
+manipulation), and prunes instances whose *static* preconditions — atoms
+no action ever changes, like ``Loc(A)`` — are false in the initial state.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.planning.symbolic.language import substitute, variables_in
+
+State = FrozenSet[str]
+
+
+@dataclass(frozen=True)
+class GroundAction:
+    """A fully instantiated action."""
+
+    name: str
+    preconditions: FrozenSet[str]
+    negative_preconditions: FrozenSet[str]
+    add_effects: FrozenSet[str]
+    delete_effects: FrozenSet[str]
+    cost: float = 1.0
+
+    def applicable(self, state: State) -> bool:
+        """Whether every precondition holds (and no negative one does)."""
+        return self.preconditions <= state and not (
+            self.negative_preconditions & state
+        )
+
+    def apply(self, state: State) -> State:
+        """The successor state: delete, then add."""
+        return frozenset((state - self.delete_effects) | self.add_effects)
+
+
+@dataclass
+class ActionSchema:
+    """A lifted action over ``?``-variables.
+
+    ``preconditions`` / ``effects`` entries are atom templates; effect
+    templates prefixed with ``!`` are delete effects (the paper's
+    notation, e.g. ``!On(b, x)``); precondition templates prefixed with
+    ``!`` are negative preconditions.  ``distinct`` requires all bound
+    objects to differ, matching blocks-world-style schemas.
+    """
+
+    name: str
+    parameters: List[str]
+    preconditions: List[str]
+    effects: List[str]
+    cost: float = 1.0
+    distinct: bool = True
+
+    def __post_init__(self) -> None:
+        declared = set(self.parameters)
+        used: Set[str] = set()
+        for template in self.preconditions + self.effects:
+            used.update(variables_in(template))
+        undeclared = used - declared
+        if undeclared:
+            raise ValueError(
+                f"schema {self.name}: undeclared variables {sorted(undeclared)}"
+            )
+
+    def ground(self, binding: Dict[str, str]) -> GroundAction:
+        """Instantiate the schema with one variable binding."""
+        pos_pre, neg_pre, adds, dels = [], [], [], []
+        for template in self.preconditions:
+            if template.startswith("!"):
+                neg_pre.append(substitute(template[1:], binding))
+            else:
+                pos_pre.append(substitute(template, binding))
+        for template in self.effects:
+            if template.startswith("!"):
+                dels.append(substitute(template[1:], binding))
+            else:
+                adds.append(substitute(template, binding))
+        args = ",".join(binding[p] for p in self.parameters)
+        name = f"{self.name}({args})" if self.parameters else self.name
+        return GroundAction(
+            name=name,
+            preconditions=frozenset(pos_pre),
+            negative_preconditions=frozenset(neg_pre),
+            add_effects=frozenset(adds),
+            delete_effects=frozenset(dels),
+            cost=self.cost,
+        )
+
+    def ground_all(self, objects: Sequence[str]) -> Iterable[GroundAction]:
+        """Every grounding of this schema over ``objects``."""
+        if not self.parameters:
+            yield self.ground({})
+            return
+        for combo in itertools.product(objects, repeat=len(self.parameters)):
+            if self.distinct and len(set(combo)) != len(combo):
+                continue
+            yield self.ground(dict(zip(self.parameters, combo)))
+
+
+def static_atoms(
+    schemas: Sequence[ActionSchema], initial_state: State
+) -> FrozenSet[str]:
+    """Atoms of predicates no schema ever adds or deletes.
+
+    These are facts like type declarations (``Loc(A)``, ``Block(B)``)
+    that hold forever; grounded actions whose static preconditions fail in
+    the initial state can never fire and are pruned.
+    """
+    changed_predicates: Set[str] = set()
+    for schema in schemas:
+        for template in schema.effects:
+            body = template[1:] if template.startswith("!") else template
+            predicate = body.partition("(")[0]
+            changed_predicates.add(predicate)
+    return frozenset(
+        a for a in initial_state
+        if a.partition("(")[0] not in changed_predicates
+    )
+
+
+def ground_schemas(
+    schemas: Sequence[ActionSchema],
+    objects: Sequence[str],
+    initial_state: State,
+) -> List[GroundAction]:
+    """Ground every schema, pruning statically impossible instances.
+
+    Static atoms are removed from the surviving actions' preconditions
+    (they are known true forever), shrinking states and speeding matching.
+    """
+    statics = static_atoms(schemas, initial_state)
+    static_predicates = {a.partition("(")[0] for a in statics}
+    grounded: List[GroundAction] = []
+    for schema in schemas:
+        for action in schema.ground_all(objects):
+            static_pre = {
+                p for p in action.preconditions
+                if p.partition("(")[0] in static_predicates
+            }
+            if not static_pre <= statics:
+                continue
+            grounded.append(
+                GroundAction(
+                    name=action.name,
+                    preconditions=frozenset(action.preconditions - static_pre),
+                    negative_preconditions=action.negative_preconditions,
+                    add_effects=action.add_effects,
+                    delete_effects=action.delete_effects,
+                    cost=action.cost,
+                )
+            )
+    return grounded

@@ -1,0 +1,207 @@
+"""The two symbolic domains of the paper: blocks world and firefighting.
+
+* :func:`blocks_world` — the classic stacking domain of Fig. 13: blocks on
+  a table, a ``Move`` action family, and a goal rearrangement.
+* :func:`firefighter` — the Fig. 14 problem from MIT's cognitive-robotics
+  summer school: a mobile robot ferries a quadcopter between locations;
+  the quadcopter must pour water on a fire three times (``ExtThree``),
+  refilling its tank and recharging its battery between pours.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.planning.symbolic.actions import ActionSchema, State, ground_schemas
+from repro.planning.symbolic.language import atom
+from repro.planning.symbolic.planner import SymbolicProblem
+
+
+def blocks_world(
+    n_blocks: int = 4, goal: str = "reverse"
+) -> SymbolicProblem:
+    """The blocks world problem of the paper's Fig. 13.
+
+    Blocks start in one stack (A on B on C ... on Table); the goal
+    rearranges them (default: the reversed stack).  Schemas follow the
+    figure: moving a block requires it and its destination to be clear.
+    """
+    if n_blocks < 2:
+        raise ValueError("need at least two blocks")
+    blocks = [chr(ord("A") + i) for i in range(n_blocks)]
+    objects = blocks + ["Table"]
+
+    schemas = [
+        # Move a block from atop another block onto a third block.
+        ActionSchema(
+            name="Move",
+            parameters=["b", "x", "y"],
+            preconditions=[
+                "Block(?b)", "Block(?x)", "Block(?y)",
+                "On(?b,?x)", "Clear(?b)", "Clear(?y)",
+            ],
+            effects=[
+                "On(?b,?y)", "Clear(?x)", "!On(?b,?x)", "!Clear(?y)",
+            ],
+        ),
+        # Move a block from atop another block onto the table.
+        ActionSchema(
+            name="MoveToTable",
+            parameters=["b", "x"],
+            preconditions=[
+                "Block(?b)", "Block(?x)", "On(?b,?x)", "Clear(?b)",
+            ],
+            effects=["On(?b,Table)", "Clear(?x)", "!On(?b,?x)"],
+        ),
+        # Move a block from the table onto a block.
+        ActionSchema(
+            name="MoveFromTable",
+            parameters=["b", "y"],
+            preconditions=[
+                "Block(?b)", "Block(?y)", "On(?b,Table)",
+                "Clear(?b)", "Clear(?y)",
+            ],
+            effects=["On(?b,?y)", "!On(?b,Table)", "!Clear(?y)"],
+        ),
+    ]
+
+    initial_atoms = {atom("Block", b) for b in blocks}
+    # One stack: A on B, B on C, ..., last on Table.
+    for upper, lower in zip(blocks[:-1], blocks[1:]):
+        initial_atoms.add(atom("On", upper, lower))
+    initial_atoms.add(atom("On", blocks[-1], "Table"))
+    initial_atoms.add(atom("Clear", blocks[0]))
+    initial_state: State = frozenset(initial_atoms)
+
+    if goal == "reverse":
+        goal_atoms = {
+            atom("On", lower, upper)
+            for upper, lower in zip(blocks[:-1], blocks[1:])
+        }
+        goal_atoms.add(atom("On", blocks[0], "Table"))
+    elif goal == "spread":
+        goal_atoms = {atom("On", b, "Table") for b in blocks}
+    else:
+        raise ValueError(f"unknown goal preset {goal!r}")
+
+    actions = ground_schemas(schemas, objects, initial_state)
+    # Static atoms (Block(...)) are pruned from preconditions by
+    # ground_schemas; drop them from the state too so nodes stay small.
+    dynamic_state = frozenset(
+        a for a in initial_state if not a.startswith("Block(")
+    )
+    return SymbolicProblem(
+        initial_state=dynamic_state,
+        goal=frozenset(goal_atoms),
+        actions=actions,
+    )
+
+
+def firefighter(n_locations: int = 5) -> SymbolicProblem:
+    """The firefighting problem of the paper's Fig. 14.
+
+    Locations ``L1..Ln`` plus the water source ``W`` and the fire ``F``.
+    The quadcopter ``Q`` starts in the air at one location; the mobile
+    robot ``R`` starts elsewhere.  Landing on the robot lets the pair
+    travel together; pouring water requires a full tank and a charged
+    battery and consumes both.  Goal: ``ExtThree(F)`` — three pours.
+    """
+    if n_locations < 2:
+        raise ValueError("need at least two generic locations")
+    generic = [f"L{i+1}" for i in range(n_locations)]
+    locations = generic + ["W", "F"]
+    charger = generic[0]  # the charging dock lives at L1
+
+    schemas = [
+        # The robot drives alone (quadcopter must be airborne elsewhere).
+        ActionSchema(
+            name="MoveToLoc",
+            parameters=["x", "y"],
+            preconditions=["Loc(?x)", "Loc(?y)", "AtR(?x)", "InAir"],
+            effects=["AtR(?y)", "!AtR(?x)"],
+        ),
+        # The robot drives carrying the landed quadcopter.
+        ActionSchema(
+            name="MoveTogether",
+            parameters=["x", "y"],
+            preconditions=[
+                "Loc(?x)", "Loc(?y)", "AtR(?x)", "AtQ(?x)", "OnRob",
+            ],
+            effects=["AtR(?y)", "AtQ(?y)", "!AtR(?x)", "!AtQ(?x)"],
+        ),
+        # The quadcopter flies on its own battery.
+        ActionSchema(
+            name="Fly",
+            parameters=["x", "y"],
+            preconditions=[
+                "Loc(?x)", "Loc(?y)", "AtQ(?x)", "InAir", "BattHigh",
+            ],
+            effects=["AtQ(?y)", "!AtQ(?x)"],
+        ),
+        ActionSchema(
+            name="Land",
+            parameters=["x"],
+            preconditions=["Loc(?x)", "AtQ(?x)", "AtR(?x)", "InAir"],
+            effects=["OnRob", "!InAir"],
+        ),
+        ActionSchema(
+            name="TakeOff",
+            parameters=["x"],
+            preconditions=["Loc(?x)", "AtQ(?x)", "OnRob", "BattHigh"],
+            effects=["InAir", "!OnRob"],
+        ),
+        ActionSchema(
+            name="FillWater",
+            parameters=[],
+            preconditions=["OnRob", "EmptyTank", "AtR(W)", "AtQ(W)"],
+            effects=["FullTank", "!EmptyTank"],
+        ),
+        ActionSchema(
+            name="ChargeBattery",
+            parameters=[],
+            preconditions=["OnRob", "BattLow", f"AtR({charger})",
+                           f"AtQ({charger})"],
+            effects=["BattHigh", "!BattLow"],
+        ),
+    ]
+    # Pouring water: three chained pours, each consuming tank and battery.
+    for level, (before, after) in enumerate(
+        (("ExtZero", "ExtOne"), ("ExtOne", "ExtTwo"), ("ExtTwo", "ExtThree"))
+    ):
+        schemas.append(
+            ActionSchema(
+                name=f"PourWater{level + 1}",
+                parameters=[],
+                preconditions=[
+                    "OnRob", "FullTank", "BattHigh", "AtR(F)", "AtQ(F)",
+                    f"{before}(F)",
+                ],
+                effects=[
+                    f"{after}(F)", f"!{before}(F)",
+                    "EmptyTank", "!FullTank",
+                    "BattLow", "!BattHigh",
+                ],
+            )
+        )
+
+    initial_atoms = {atom("Loc", loc) for loc in locations}
+    initial_atoms.update(
+        {
+            "AtQ(" + generic[1] + ")",  # quadcopter airborne at L2
+            "AtR(" + generic[0] + ")",  # robot at the charging dock L1
+            "InAir",
+            "EmptyTank",
+            "BattHigh",
+            "ExtZero(F)",
+        }
+    )
+    initial_state: State = frozenset(initial_atoms)
+    actions = ground_schemas(schemas, locations, initial_state)
+    dynamic_state = frozenset(
+        a for a in initial_state if not a.startswith("Loc(")
+    )
+    return SymbolicProblem(
+        initial_state=dynamic_state,
+        goal=frozenset({"ExtThree(F)"}),
+        actions=actions,
+    )

@@ -1,0 +1,72 @@
+"""The symbolic language: ground atoms as strings.
+
+Atoms look like ``On(A,B)``; variables in schema templates are marked
+with ``?`` (``On(?b,?x)``).  Keeping atoms as strings mirrors the paper's
+implementation, whose planning kernels spend significant time in "string
+manipulation inside nodes" — substitution, formatting, and matching here
+are genuine string operations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+
+def atom(predicate: str, *args: str) -> str:
+    """Format a ground atom: ``atom("On", "A", "B") == "On(A,B)"``."""
+    if not predicate:
+        raise ValueError("predicate name must be non-empty")
+    if not args:
+        return predicate
+    return f"{predicate}({','.join(args)})"
+
+
+def parse_atom(text: str) -> Tuple[str, List[str]]:
+    """Split an atom string into (predicate, arguments).
+
+    >>> parse_atom("On(A,B)")
+    ('On', ['A', 'B'])
+    >>> parse_atom("HandEmpty")
+    ('HandEmpty', [])
+    """
+    text = text.strip()
+    if "(" not in text:
+        return text, []
+    if not text.endswith(")"):
+        raise ValueError(f"malformed atom: {text!r}")
+    predicate, _, rest = text.partition("(")
+    inner = rest[:-1]
+    args = [a.strip() for a in inner.split(",")] if inner else []
+    return predicate, args
+
+
+def substitute(template: str, binding: Dict[str, str]) -> str:
+    """Replace ``?var`` occurrences in a template with bound objects.
+
+    Longer variable names are substituted first so ``?block`` is never
+    clobbered by a substitution for ``?b``.
+    """
+    out = template
+    for var in sorted(binding, key=len, reverse=True):
+        out = out.replace("?" + var, binding[var])
+    if "?" in out:
+        raise ValueError(f"unbound variable remains in {out!r}")
+    return out
+
+
+def variables_in(template: str) -> List[str]:
+    """All ``?var`` names appearing in a template, in order, deduplicated."""
+    names: List[str] = []
+    i = 0
+    while i < len(template):
+        if template[i] == "?":
+            j = i + 1
+            while j < len(template) and (template[j].isalnum() or template[j] == "_"):
+                j += 1
+            name = template[i + 1 : j]
+            if name and name not in names:
+                names.append(name)
+            i = j
+        else:
+            i += 1
+    return names

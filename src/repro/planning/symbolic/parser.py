@@ -1,0 +1,180 @@
+"""A parser for textual symbolic problem descriptions.
+
+The paper presents its symbolic problems in a compact human-readable
+notation (Fig. 13 and Fig. 14)::
+
+    Symbols: A, B, C, Table
+    Initial conditions: On(A, B), On(B, Table), Clear(A), ...
+    Goal conditions: On(B, C), On(C, A)
+    Actions:
+      Move(b, x, y)
+        Preconditions: On(b, x), Clear(b), Clear(y)
+        Effects: On(b, y), Clear(x), !On(b, x), !Clear(y)
+
+This module parses exactly that notation into a grounded
+:class:`~repro.planning.symbolic.planner.SymbolicProblem`, so new domains
+can be written as text files instead of Python — "one symbolic planner
+can solve any problem that can be described in the symbolic language".
+Action parameter names act as the ``?``-variables; any identifier in a
+template that matches a parameter name is treated as a variable,
+everything else as a constant symbol.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Sequence, Tuple
+
+from repro.planning.symbolic.actions import ActionSchema, ground_schemas
+from repro.planning.symbolic.planner import SymbolicProblem
+
+_SECTION_RE = re.compile(
+    r"^(symbols|initial conditions|goal conditions|actions)\s*:\s*(.*)$",
+    re.IGNORECASE,
+)
+_ACTION_HEAD_RE = re.compile(r"^([A-Za-z_][\w-]*)\s*\(([^)]*)\)\s*$")
+_CLAUSE_RE = re.compile(
+    r"^(preconditions|effects)\s*:\s*(.*)$", re.IGNORECASE
+)
+
+
+def _split_atoms(text: str) -> List[str]:
+    """Split a comma-separated atom list, respecting parentheses.
+
+    ``"On(A, B), Clear(C)"`` -> ``["On(A,B)", "Clear(C)"]``; a trailing
+    ``...`` ellipsis (used in the paper's figures) is dropped.
+    """
+    atoms: List[str] = []
+    depth = 0
+    current: List[str] = []
+    for ch in text:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+            if depth < 0:
+                raise ValueError(f"unbalanced parentheses in {text!r}")
+        if ch == "," and depth == 0:
+            atoms.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    if depth != 0:
+        raise ValueError(f"unbalanced parentheses in {text!r}")
+    atoms.append("".join(current).strip())
+    return [a.replace(" ", "") for a in atoms if a and a != "..."]
+
+
+def _mark_variables(template: str, parameters: Sequence[str]) -> str:
+    """Prefix occurrences of parameter names with ``?`` inside a template."""
+    negated = template.startswith("!")
+    body = template[1:] if negated else template
+    if "(" in body:
+        predicate, _, rest = body.partition("(")
+        if not rest.endswith(")"):
+            raise ValueError(f"malformed atom template {body!r}")
+        args = [a.strip() for a in rest[:-1].split(",")] if rest[:-1] else []
+        args = [f"?{a}" if a in parameters else a for a in args]
+        body = f"{predicate}({','.join(args)})"
+    return ("!" if negated else "") + body
+
+
+def parse_problem_text(text: str) -> SymbolicProblem:
+    """Parse a full problem description into a grounded problem."""
+    symbols: List[str] = []
+    initial: List[str] = []
+    goal: List[str] = []
+    schemas: List[ActionSchema] = []
+
+    lines = [ln.rstrip() for ln in text.splitlines()]
+    section = None
+    current_action: Dict[str, object] = {}
+
+    def flush_action() -> None:
+        if not current_action:
+            return
+        schemas.append(
+            ActionSchema(
+                name=str(current_action["name"]),
+                parameters=list(current_action["parameters"]),  # type: ignore[arg-type]
+                preconditions=list(current_action.get("preconditions", [])),  # type: ignore[arg-type]
+                effects=list(current_action.get("effects", [])),  # type: ignore[arg-type]
+            )
+        )
+        current_action.clear()
+
+    for raw in lines:
+        line = raw.strip()
+        if not line:
+            continue
+        header = _SECTION_RE.match(line)
+        if header:
+            flush_action()
+            section = header.group(1).lower()
+            remainder = header.group(2).strip()
+            if remainder:
+                if section == "symbols":
+                    symbols.extend(_split_atoms(remainder))
+                elif section == "initial conditions":
+                    initial.extend(_split_atoms(remainder))
+                elif section == "goal conditions":
+                    goal.extend(_split_atoms(remainder))
+            continue
+        if section in ("symbols", "initial conditions", "goal conditions"):
+            target = {
+                "symbols": symbols,
+                "initial conditions": initial,
+                "goal conditions": goal,
+            }[section]
+            target.extend(_split_atoms(line))
+            continue
+        if section == "actions":
+            clause = _CLAUSE_RE.match(line)
+            if clause:
+                if not current_action:
+                    raise ValueError(
+                        f"{clause.group(1)} before any action header"
+                    )
+                params = current_action["parameters"]
+                templates = [
+                    _mark_variables(a, params)  # type: ignore[arg-type]
+                    for a in _split_atoms(clause.group(2))
+                ]
+                key = clause.group(1).lower()
+                current_action[key] = templates
+                continue
+            head = _ACTION_HEAD_RE.match(line)
+            if head:
+                flush_action()
+                params = [
+                    p.strip() for p in head.group(2).split(",") if p.strip()
+                ]
+                current_action.update(
+                    {"name": head.group(1), "parameters": params}
+                )
+                continue
+            raise ValueError(f"cannot parse action line {line!r}")
+        raise ValueError(f"content outside any section: {line!r}")
+    flush_action()
+
+    if not symbols:
+        raise ValueError("problem text declares no symbols")
+    if not goal:
+        raise ValueError("problem text declares no goal conditions")
+    initial_state = frozenset(initial)
+    actions = ground_schemas(schemas, symbols, initial_state)
+    # Drop static atoms from the state (ground_schemas already stripped
+    # them from the surviving actions' preconditions).
+    changed = set()
+    for schema in schemas:
+        for template in schema.effects:
+            body = template[1:] if template.startswith("!") else template
+            changed.add(body.partition("(")[0])
+    dynamic_state = frozenset(
+        a for a in initial_state if a.partition("(")[0] in changed
+    )
+    return SymbolicProblem(
+        initial_state=dynamic_state,
+        goal=frozenset(goal),
+        actions=actions,
+    )

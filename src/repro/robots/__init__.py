@@ -1,0 +1,21 @@
+"""Robot models: kinematics and simple physics plants.
+
+The kernels share a handful of robot embodiments — a differential-drive
+indoor robot (pfl), a car-like vehicle (pp2d, mpc), a planar n-DoF arm
+(prm, rrt family), and a 2-DoF ball thrower (cem, bo, standing in for the
+paper's V-REP simulation).
+"""
+
+from repro.robots.arm import PlanarArm
+from repro.robots.ball_thrower import BallThrower, ThrowResult
+from repro.robots.bicycle import BicycleModel, BicycleState
+from repro.robots.differential import DifferentialDrive
+
+__all__ = [
+    "PlanarArm",
+    "BallThrower",
+    "ThrowResult",
+    "BicycleModel",
+    "BicycleState",
+    "DifferentialDrive",
+]

@@ -1,0 +1,95 @@
+"""Planar n-DoF arm kinematics.
+
+The arm-planning kernels (prm, rrt, rrtstar, rrtpp) plan in joint-angle
+space; this model provides forward kinematics — joint angles to link
+endpoint positions — plus joint limits and the workspace polyline the
+collision checker tests (paper Fig. 8).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class PlanarArm:
+    """A serial chain of revolute joints in the plane.
+
+    ``link_lengths`` are the segment lengths in meters; joint ``i``'s angle
+    is measured relative to the previous link (relative angles), so the
+    configuration space is a box of joint angles with limits
+    ``joint_limits`` (default +-pi).
+    """
+
+    def __init__(
+        self,
+        link_lengths: Sequence[float],
+        joint_limits: Optional[Sequence[Tuple[float, float]]] = None,
+    ) -> None:
+        if not link_lengths:
+            raise ValueError("arm needs at least one link")
+        if any(length <= 0 for length in link_lengths):
+            raise ValueError("link lengths must be positive")
+        self.link_lengths = [float(v) for v in link_lengths]
+        if joint_limits is None:
+            joint_limits = [(-math.pi, math.pi)] * len(self.link_lengths)
+        if len(joint_limits) != len(self.link_lengths):
+            raise ValueError("one joint limit pair per link required")
+        self.joint_limits = [(float(lo), float(hi)) for lo, hi in joint_limits]
+
+    @property
+    def dof(self) -> int:
+        """Number of joints (degrees of freedom)."""
+        return len(self.link_lengths)
+
+    @property
+    def reach(self) -> float:
+        """Maximum end-effector distance from the base."""
+        return sum(self.link_lengths)
+
+    def within_limits(self, q: Sequence[float]) -> bool:
+        """Whether every joint angle respects its limits."""
+        return all(
+            lo <= angle <= hi
+            for angle, (lo, hi) in zip(q, self.joint_limits)
+        )
+
+    def clamp(self, q: Sequence[float]) -> np.ndarray:
+        """Clip a configuration into the joint limits."""
+        lows = np.array([lo for lo, _ in self.joint_limits])
+        highs = np.array([hi for _, hi in self.joint_limits])
+        return np.clip(np.asarray(q, dtype=float), lows, highs)
+
+    def link_points(
+        self, q: Sequence[float], base: Tuple[float, float] = (0.0, 0.0)
+    ) -> List[Tuple[float, float]]:
+        """Workspace positions of the base and every joint/end-effector.
+
+        Returns ``dof + 1`` points; consecutive pairs are the links the
+        collision checker must keep clear.
+        """
+        if len(q) != self.dof:
+            raise ValueError(f"expected {self.dof} joint angles, got {len(q)}")
+        x, y = base
+        theta = 0.0
+        points = [(x, y)]
+        for angle, length in zip(q, self.link_lengths):
+            theta += angle
+            x += length * math.cos(theta)
+            y += length * math.sin(theta)
+            points.append((x, y))
+        return points
+
+    def end_effector(
+        self, q: Sequence[float], base: Tuple[float, float] = (0.0, 0.0)
+    ) -> Tuple[float, float]:
+        """Workspace position of the arm tip."""
+        return self.link_points(q, base)[-1]
+
+    def sample_configuration(self, rng: np.random.Generator) -> np.ndarray:
+        """A uniform random configuration within the joint limits."""
+        return np.array(
+            [rng.uniform(lo, hi) for lo, hi in self.joint_limits]
+        )

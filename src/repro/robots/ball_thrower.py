@@ -1,0 +1,133 @@
+"""Ball-throwing robot simulation (the cem / bo reward oracle).
+
+The paper simulates a 2-DoF arm throwing a ball toward a goal in V-REP and
+uses the final ball-to-goal distance as the reinforcement-learning reward.
+This module is the analytic substitute: release-point kinematics from the
+2-DoF arm pose, then ballistic flight with gravity (and optional linear
+drag), landing on the floor plane.  The policy parameters match the
+paper's: the two joint angles and the throw force.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+GRAVITY = 9.81
+
+
+@dataclass
+class ThrowResult:
+    """Outcome of one throw."""
+
+    landing_x: float
+    flight_time: float
+    release_point: Tuple[float, float]
+    release_velocity: Tuple[float, float]
+    reward: float
+
+
+class BallThrower:
+    """A planar 2-DoF arm that throws a ball at a floor target.
+
+    Policy parameters (the learned quantities, per section V.15):
+    ``(q1, q2, force)`` — shoulder angle, elbow angle, and throw force.
+    The release velocity points along the final link; speed is
+    ``force / mass * impulse_time``.  Reward is the negative distance from
+    the landing point to the goal (higher is better, 0 is perfect).
+    """
+
+    def __init__(
+        self,
+        link1: float = 0.4,
+        link2: float = 0.4,
+        base_height: float = 0.5,
+        ball_mass: float = 0.1,
+        impulse_time: float = 0.05,
+        max_force: float = 20.0,
+        goal_x: float = 3.0,
+        drag: float = 0.0,
+    ) -> None:
+        if min(link1, link2, base_height, ball_mass, impulse_time) <= 0:
+            raise ValueError("physical parameters must be positive")
+        self.link1 = float(link1)
+        self.link2 = float(link2)
+        self.base_height = float(base_height)
+        self.ball_mass = float(ball_mass)
+        self.impulse_time = float(impulse_time)
+        self.max_force = float(max_force)
+        self.goal_x = float(goal_x)
+        self.drag = float(drag)
+
+    @property
+    def parameter_bounds(self) -> np.ndarray:
+        """``(3, 2)`` lower/upper bounds for (q1, q2, force)."""
+        return np.array(
+            [
+                [0.0, math.pi],
+                [-math.pi / 2.0, math.pi / 2.0],
+                [0.1, self.max_force],
+            ]
+        )
+
+    def release_state(
+        self, q1: float, q2: float, force: float
+    ) -> Tuple[Tuple[float, float], Tuple[float, float]]:
+        """Release position and velocity for a parameter triple."""
+        x1 = self.link1 * math.cos(q1)
+        y1 = self.base_height + self.link1 * math.sin(q1)
+        tip_angle = q1 + q2
+        x2 = x1 + self.link2 * math.cos(tip_angle)
+        y2 = y1 + self.link2 * math.sin(tip_angle)
+        speed = force / self.ball_mass * self.impulse_time
+        vx = speed * math.cos(tip_angle)
+        vy = speed * math.sin(tip_angle)
+        return (x2, y2), (vx, vy)
+
+    def throw(self, params: np.ndarray) -> ThrowResult:
+        """Simulate one throw; returns landing point and reward.
+
+        Parameters are clipped to :attr:`parameter_bounds` (the simulator
+        rejects impossible commands rather than faulting, like V-REP).
+        """
+        bounds = self.parameter_bounds
+        q1, q2, force = np.clip(np.asarray(params, dtype=float),
+                                bounds[:, 0], bounds[:, 1])
+        (rx, ry), (vx, vy) = self.release_state(q1, q2, force)
+        if self.drag > 0.0:
+            landing_x, flight_time = self._integrate_with_drag(rx, ry, vx, vy)
+        else:
+            # Closed-form ballistic landing: solve ry + vy t - g t^2 / 2 = 0.
+            disc = vy * vy + 2.0 * GRAVITY * ry
+            flight_time = (vy + math.sqrt(max(0.0, disc))) / GRAVITY
+            landing_x = rx + vx * flight_time
+        reward = -abs(landing_x - self.goal_x)
+        return ThrowResult(
+            landing_x=landing_x,
+            flight_time=flight_time,
+            release_point=(rx, ry),
+            release_velocity=(vx, vy),
+            reward=reward,
+        )
+
+    def reward(self, params: np.ndarray) -> float:
+        """Black-box reward of a parameter triple (higher is better)."""
+        return self.throw(params).reward
+
+    def _integrate_with_drag(
+        self, x: float, y: float, vx: float, vy: float, dt: float = 1e-3
+    ) -> Tuple[float, float]:
+        """Euler-integrate flight with linear drag until ground contact."""
+        t = 0.0
+        while y > 0.0 and t < 30.0:
+            ax = -self.drag * vx
+            ay = -GRAVITY - self.drag * vy
+            vx += ax * dt
+            vy += ay * dt
+            x += vx * dt
+            y += vy * dt
+            t += dt
+        return x, t

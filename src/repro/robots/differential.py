@@ -1,0 +1,68 @@
+"""Differential-drive kinematics (the pfl indoor robot)."""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from repro.geometry.transforms import SE2, wrap_angle
+
+
+class DifferentialDrive:
+    """A two-wheeled robot integrated with the unicycle model.
+
+    State is an :class:`~repro.geometry.transforms.SE2` pose; controls are
+    linear velocity v (m/s) and angular velocity w (rad/s).
+    """
+
+    def __init__(self, max_v: float = 1.0, max_w: float = 1.5) -> None:
+        if max_v <= 0 or max_w <= 0:
+            raise ValueError("velocity limits must be positive")
+        self.max_v = float(max_v)
+        self.max_w = float(max_w)
+
+    def clamp(self, v: float, w: float) -> Tuple[float, float]:
+        """Saturate a control to the robot's limits."""
+        return (
+            max(-self.max_v, min(self.max_v, v)),
+            max(-self.max_w, min(self.max_w, w)),
+        )
+
+    def step(self, pose: SE2, v: float, w: float, dt: float) -> SE2:
+        """Integrate the unicycle model for ``dt`` seconds.
+
+        Uses the exact arc solution when turning, falling back to a
+        straight-line step when |w| is negligible.
+        """
+        v, w = self.clamp(v, w)
+        if abs(w) < 1e-9:
+            return SE2(
+                pose.x + v * dt * math.cos(pose.theta),
+                pose.y + v * dt * math.sin(pose.theta),
+                pose.theta,
+            )
+        radius = v / w
+        theta_new = pose.theta + w * dt
+        return SE2(
+            pose.x + radius * (math.sin(theta_new) - math.sin(pose.theta)),
+            pose.y - radius * (math.cos(theta_new) - math.cos(pose.theta)),
+            wrap_angle(theta_new),
+        )
+
+    def odometry_between(self, before: SE2, after: SE2) -> Tuple[float, float, float]:
+        """The classic odometry decomposition (rot1, trans, rot2).
+
+        Decomposes a pose change into an initial rotation, a straight
+        translation, and a final rotation — the standard parameterization
+        of the probabilistic odometry motion model used by the particle
+        filter.
+        """
+        dx = after.x - before.x
+        dy = after.y - before.y
+        trans = math.hypot(dx, dy)
+        if trans < 1e-9:
+            rot1 = 0.0
+        else:
+            rot1 = wrap_angle(math.atan2(dy, dx) - before.theta)
+        rot2 = wrap_angle(after.theta - before.theta - rot1)
+        return rot1, trans, rot2

@@ -1,0 +1,23 @@
+"""Graph search substrate: priority queues, A*, Weighted A*, Dijkstra.
+
+Best-first graph search is the backbone of the planning kernels (pp2d,
+pp3d, movtar, prm, and the symbolic planners all reduce to it).  The
+algorithms here operate over *implicit* graphs — a successor function
+rather than materialized adjacency — which is how the paper's kernels
+search environments too large to enumerate.
+"""
+
+from repro.search.astar import SearchResult, astar, weighted_astar
+from repro.search.dijkstra import backward_dijkstra_grid, dijkstra
+from repro.search.queues import PriorityQueue
+from repro.search.space import SearchSpace
+
+__all__ = [
+    "SearchResult",
+    "astar",
+    "weighted_astar",
+    "backward_dijkstra_grid",
+    "dijkstra",
+    "PriorityQueue",
+    "SearchSpace",
+]

@@ -1,0 +1,117 @@
+"""A* and Weighted A* over implicit graphs.
+
+A* (Hart, Nilsson, Raphael 1968) is the seminal planner the paper builds
+pp2d/pp3d on; Weighted A* (Pohl 1970) inflates the heuristic by a factor
+epsilon to trade path optimality for search speed, which the movtar kernel
+relies on to make moving-target planning tractable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional
+
+from repro.harness.profiler import PhaseProfiler
+from repro.search.queues import PriorityQueue
+from repro.search.space import SearchSpace
+
+
+@dataclass
+class SearchResult:
+    """Outcome of a graph search."""
+
+    found: bool
+    path: List[Hashable] = field(default_factory=list)
+    cost: float = float("inf")
+    expansions: int = 0
+    generated: int = 0
+
+    def __bool__(self) -> bool:
+        return self.found
+
+
+def _reconstruct(
+    parents: Dict[Hashable, Hashable], state: Hashable
+) -> List[Hashable]:
+    path = [state]
+    while state in parents:
+        state = parents[state]
+        path.append(state)
+    path.reverse()
+    return path
+
+
+def weighted_astar(
+    space: SearchSpace,
+    start: Hashable,
+    epsilon: float = 1.0,
+    profiler: Optional[PhaseProfiler] = None,
+    max_expansions: Optional[int] = None,
+) -> SearchResult:
+    """Best-first search with f = g + epsilon * h.
+
+    ``epsilon == 1`` is plain A* (optimal with an admissible heuristic);
+    ``epsilon > 1`` biases toward the goal, bounding the returned cost to
+    at most ``epsilon`` times optimal.  Heap operations, expansion
+    bookkeeping, and heuristic evaluation are attributed to the
+    profiler's ``search`` phase; ``space.successors`` and
+    ``space.heuristic`` may open nested phases of their own (e.g.
+    ``collision``, ``l2_norm``) — the search itself does not wrap each
+    heuristic call, because for table-lookup heuristics the wrapper would
+    cost more than the lookup and distort the breakdown.
+    """
+    if epsilon < 1.0:
+        raise ValueError("epsilon must be >= 1.0")
+    prof = profiler if profiler is not None else PhaseProfiler()
+
+    g: Dict[Hashable, float] = {start: 0.0}
+    parents: Dict[Hashable, Hashable] = {}
+    closed = set()
+    open_list = PriorityQueue()
+    expansions = 0
+    generated = 1
+
+    with prof.phase("search"):
+        open_list.push(start, epsilon * space.heuristic(start))
+        while open_list:
+            state, _ = open_list.pop()
+            if state in closed:
+                continue
+            if space.is_goal(state):
+                prof.count("astar_expansions", expansions)
+                return SearchResult(
+                    found=True,
+                    path=_reconstruct(parents, state),
+                    cost=g[state],
+                    expansions=expansions,
+                    generated=generated,
+                )
+            closed.add(state)
+            expansions += 1
+            if max_expansions is not None and expansions > max_expansions:
+                break
+            g_state = g[state]
+            for succ, edge_cost in space.successors(state):
+                if succ in closed:
+                    continue
+                tentative = g_state + edge_cost
+                if tentative < g.get(succ, float("inf")):
+                    g[succ] = tentative
+                    parents[succ] = state
+                    h = space.heuristic(succ)
+                    open_list.push(succ, tentative + epsilon * h)
+                    generated += 1
+    prof.count("astar_expansions", expansions)
+    return SearchResult(found=False, expansions=expansions, generated=generated)
+
+
+def astar(
+    space: SearchSpace,
+    start: Hashable,
+    profiler: Optional[PhaseProfiler] = None,
+    max_expansions: Optional[int] = None,
+) -> SearchResult:
+    """Plain A*: :func:`weighted_astar` with epsilon = 1."""
+    return weighted_astar(
+        space, start, epsilon=1.0, profiler=profiler, max_expansions=max_expansions
+    )

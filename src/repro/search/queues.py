@@ -1,0 +1,73 @@
+"""Binary-heap priority queue with lazy decrease-key.
+
+The open list of every best-first search in the suite.  Decrease-key is
+implemented lazily (stale entries are skipped on pop), the standard
+technique for heapq-based A* — re-pushing is cheaper than rebuilding and
+keeps pop amortized O(log n).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Dict, Hashable, Optional, Tuple
+
+
+class PriorityQueue:
+    """Min-priority queue over hashable items with updatable priorities."""
+
+    _REMOVED = object()
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._entries: Dict[Hashable, list] = {}
+        self._counter = itertools.count()
+        self._size = 0
+        self.pushes = 0
+        self.pops = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._entries
+
+    def push(self, item: Hashable, priority: float) -> None:
+        """Insert ``item``, or update its priority if already queued."""
+        if item in self._entries:
+            self._entries[item][2] = self._REMOVED
+            self._size -= 1
+        entry = [priority, next(self._counter), item]
+        self._entries[item] = entry
+        heapq.heappush(self._heap, entry)
+        self._size += 1
+        self.pushes += 1
+
+    def pop(self) -> Tuple[Hashable, float]:
+        """Remove and return ``(item, priority)`` with the lowest priority."""
+        while self._heap:
+            priority, _, item = heapq.heappop(self._heap)
+            if item is not self._REMOVED:
+                del self._entries[item]
+                self._size -= 1
+                self.pops += 1
+                return item, priority
+        raise IndexError("pop from an empty priority queue")
+
+    def peek(self) -> Tuple[Hashable, float]:
+        """Return the minimum ``(item, priority)`` without removing it."""
+        while self._heap:
+            priority, _, item = self._heap[0]
+            if item is self._REMOVED:
+                heapq.heappop(self._heap)
+                continue
+            return item, priority
+        raise IndexError("peek at an empty priority queue")
+
+    def priority_of(self, item: Hashable) -> Optional[float]:
+        """Current queued priority of ``item``, or ``None`` if absent."""
+        entry = self._entries.get(item)
+        return None if entry is None else entry[0]

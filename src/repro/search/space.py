@@ -1,0 +1,26 @@
+"""Implicit search-space protocol shared by the planning kernels."""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Protocol, Tuple
+
+
+class SearchSpace(Protocol):
+    """An implicit graph with a goal predicate and an admissible heuristic.
+
+    States must be hashable.  ``successors`` yields ``(state, edge_cost)``
+    pairs; expensive validity checks (collision detection) happen inside it
+    so kernels can attribute that time to their collision phase.
+    """
+
+    def successors(self, state: Hashable) -> Iterable[Tuple[Hashable, float]]:
+        """Neighbors of ``state`` with positive edge costs."""
+        ...
+
+    def heuristic(self, state: Hashable) -> float:
+        """Estimated cost-to-go; 0 makes the search Dijkstra."""
+        ...
+
+    def is_goal(self, state: Hashable) -> bool:
+        """Whether ``state`` satisfies the goal condition."""
+        ...

@@ -1,0 +1,93 @@
+"""Laser rangefinder model built on grid ray casting."""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.geometry.grid2d import OccupancyGrid2D
+from repro.geometry.raycast import cast_rays_batch
+
+
+class Lidar:
+    """A planar laser scanner: ``n_beams`` rays across ``fov`` radians.
+
+    ``measure`` produces a noisy scan from the robot's true pose (workload
+    generation); ``expected_ranges`` produces the noise-free ranges a
+    hypothesis pose *would* see (the particle filter's ray-casting step).
+    """
+
+    def __init__(
+        self,
+        n_beams: int = 36,
+        fov: float = 2.0 * math.pi,
+        max_range: float = 20.0,
+        noise_sigma: float = 0.05,
+    ) -> None:
+        if n_beams < 1:
+            raise ValueError("n_beams must be >= 1")
+        if max_range <= 0:
+            raise ValueError("max_range must be positive")
+        self.n_beams = int(n_beams)
+        self.fov = float(fov)
+        self.max_range = float(max_range)
+        self.noise_sigma = float(noise_sigma)
+
+    def beam_angles(self, theta: float) -> np.ndarray:
+        """World-frame beam directions for a robot heading ``theta``."""
+        offsets = np.linspace(
+            -self.fov / 2.0, self.fov / 2.0, self.n_beams, endpoint=False
+        )
+        return theta + offsets
+
+    def expected_ranges(
+        self,
+        grid: OccupancyGrid2D,
+        x: float,
+        y: float,
+        theta: float,
+        count=None,
+    ) -> np.ndarray:
+        """Noise-free ranges from a pose (the measurement hypothesis)."""
+        angles = self.beam_angles(theta)
+        xs = np.full(self.n_beams, x)
+        ys = np.full(self.n_beams, y)
+        return cast_rays_batch(grid, xs, ys, angles, self.max_range, count=count)
+
+    def expected_ranges_batch(
+        self,
+        grid: OccupancyGrid2D,
+        poses: np.ndarray,
+        count=None,
+    ) -> np.ndarray:
+        """Ranges for every pose in an ``(n, 3)`` array: ``(n, beams)``.
+
+        Flattens all particle x beam rays into one vectorized cast — this
+        is the hot loop the paper measures at 67-78% of pfl time.
+        """
+        poses = np.asarray(poses, dtype=float)
+        n = len(poses)
+        offsets = np.linspace(
+            -self.fov / 2.0, self.fov / 2.0, self.n_beams, endpoint=False
+        )
+        angles = (poses[:, 2:3] + offsets[None, :]).ravel()
+        xs = np.repeat(poses[:, 0], self.n_beams)
+        ys = np.repeat(poses[:, 1], self.n_beams)
+        ranges = cast_rays_batch(grid, xs, ys, angles, self.max_range, count=count)
+        return ranges.reshape(n, self.n_beams)
+
+    def measure(
+        self,
+        grid: OccupancyGrid2D,
+        x: float,
+        y: float,
+        theta: float,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """A noisy scan from the true pose, clipped to [0, max_range]."""
+        ranges = self.expected_ranges(grid, x, y, theta)
+        if rng is not None and self.noise_sigma > 0.0:
+            ranges = ranges + rng.normal(0.0, self.noise_sigma, size=ranges.shape)
+        return np.clip(ranges, 0.0, self.max_range)

@@ -1,0 +1,33 @@
+"""Gaussian noise helpers shared by the sensor models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class GaussianNoise:
+    """Zero-mean Gaussian perturbation with a fixed standard deviation."""
+
+    sigma: float
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise ValueError("sigma must be non-negative")
+
+    def perturb(self, value: float, rng: np.random.Generator) -> float:
+        """One noisy sample of a scalar measurement."""
+        if self.sigma == 0.0:
+            return value
+        return value + float(rng.normal(0.0, self.sigma))
+
+    def perturb_array(
+        self, values: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Element-wise noisy samples of an array of measurements."""
+        values = np.asarray(values, dtype=float)
+        if self.sigma == 0.0:
+            return values.copy()
+        return values + rng.normal(0.0, self.sigma, size=values.shape)

@@ -1,0 +1,126 @@
+"""Plain-text visualization helpers.
+
+The suite is terminal-first (no plotting dependencies); these renderers
+turn grids, paths, and learning curves into ASCII so the examples can
+*show* the paper's figures, not just print numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.geometry.grid2d import OccupancyGrid2D
+
+
+def render_grid(
+    grid: OccupancyGrid2D,
+    path: Optional[Iterable[Tuple[int, int]]] = None,
+    markers: Optional[Dict[Tuple[int, int], str]] = None,
+    max_width: int = 100,
+    max_height: int = 40,
+) -> str:
+    """ASCII map: ``#`` obstacles, ``.`` free, ``*`` path, custom markers.
+
+    Large grids are downsampled to fit ``max_width`` x ``max_height``; a
+    downsampled cell is an obstacle if any covered cell is, and a path
+    cell if any covered cell is on the path.
+    """
+    rows, cols = grid.rows, grid.cols
+    row_step = max(1, -(-rows // max_height))
+    col_step = max(1, -(-cols // max_width))
+    path_cells = set(map(tuple, path)) if path is not None else set()
+    markers = markers or {}
+    out_rows: List[str] = []
+    for r0 in range(0, rows, row_step):
+        line = []
+        for c0 in range(0, cols, col_step):
+            block = grid.cells[r0 : r0 + row_step, c0 : c0 + col_step]
+            cell_range = [
+                (r, c)
+                for r in range(r0, min(r0 + row_step, rows))
+                for c in range(c0, min(c0 + col_step, cols))
+            ]
+            marker = next(
+                (markers[rc] for rc in cell_range if rc in markers), None
+            )
+            if marker is not None:
+                line.append(marker[0])
+            elif any(rc in path_cells for rc in cell_range):
+                line.append("*")
+            elif block.any():
+                line.append("#")
+            else:
+                line.append(".")
+        out_rows.append("".join(line))
+    # Row 0 is the bottom of the world frame; print top-down.
+    return "\n".join(reversed(out_rows))
+
+
+def render_curve(
+    values: Sequence[float],
+    width: int = 60,
+    height: int = 12,
+    label: str = "",
+) -> str:
+    """ASCII line chart of a 1-D series (e.g. a reward history)."""
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        return "(empty series)"
+    lo, hi = float(data.min()), float(data.max())
+    span = hi - lo if hi > lo else 1.0
+    # Resample to the chart width.
+    xs = np.linspace(0, len(data) - 1, min(width, len(data)))
+    ys = np.interp(xs, np.arange(len(data)), data)
+    levels = np.round((ys - lo) / span * (height - 1)).astype(int)
+    canvas = [[" "] * len(ys) for _ in range(height)]
+    for x, level in enumerate(levels):
+        canvas[height - 1 - level][x] = "o"
+    lines = ["".join(row) for row in canvas]
+    header = f"{label}  [{lo:.3g} .. {hi:.3g}]" if label else f"[{lo:.3g} .. {hi:.3g}]"
+    return header + "\n" + "\n".join(lines)
+
+
+def render_workspace(
+    workspace,
+    arm=None,
+    configs: Optional[Sequence] = None,
+    resolution: int = 40,
+) -> str:
+    """ASCII arm workspace: obstacles as ``#``, arm links as digits.
+
+    ``configs`` is a sequence of joint configurations; each is drawn with
+    the digit of its index (0-9), so a start/goal pair or a short path
+    renders in one picture.
+    """
+    size = workspace.size
+    canvas = [["."] * resolution for _ in range(resolution)]
+
+    def to_cell(x: float, y: float) -> Optional[Tuple[int, int]]:
+        col = int(x / size * (resolution - 1))
+        row = int(y / size * (resolution - 1))
+        if 0 <= row < resolution and 0 <= col < resolution:
+            return row, col
+        return None
+
+    for rect in workspace.obstacles:
+        for row in range(resolution):
+            for col in range(resolution):
+                x = col / (resolution - 1) * size
+                y = row / (resolution - 1) * size
+                if rect.contains(x, y):
+                    canvas[row][col] = "#"
+    if arm is not None and configs:
+        for index, q in enumerate(configs):
+            symbol = str(index % 10)
+            points = arm.link_points(q, base=workspace.base)
+            for (x0, y0), (x1, y1) in zip(points[:-1], points[1:]):
+                for t in np.linspace(0.0, 1.0, 12):
+                    cell = to_cell(x0 + (x1 - x0) * t, y0 + (y1 - y0) * t)
+                    if cell is not None:
+                        canvas[cell[0]][cell[1]] = symbol
+    base_cell = to_cell(*workspace.base)
+    if base_cell is not None:
+        canvas[base_cell[0]][base_cell[1]] = "B"
+    return "\n".join("".join(row) for row in reversed(canvas))

@@ -1,0 +1,23 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_grid():
+    """A 20x20 grid with a single central obstacle block."""
+    from repro.geometry.grid2d import OccupancyGrid2D
+
+    grid = OccupancyGrid2D.empty(20, 20, resolution=1.0)
+    grid.fill_border(1)
+    grid.fill_rect(8, 8, 12, 12)
+    return grid

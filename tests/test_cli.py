@@ -1,0 +1,60 @@
+"""Tests for the rtrbench command-line interface (paper Fig. 20)."""
+
+import pytest
+
+from repro.harness.cli import main
+
+
+def test_list_command_prints_all_kernels(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("01.pfl", "08.rrt", "16.bo"):
+        assert name in out
+
+
+def test_run_without_kernel_errors(capsys):
+    assert main(["run"]) == 2
+    assert "usage" in capsys.readouterr().err
+
+
+def test_run_unknown_kernel_errors(capsys):
+    assert main(["run", "doesnotexist"]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_unknown_command_errors(capsys):
+    assert main(["frobnicate"]) == 2
+
+
+def test_no_args_prints_usage(capsys):
+    assert main([]) == 0
+    assert "rtrbench" in capsys.readouterr().out
+
+
+def test_run_kernel_help_exits_zero(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["run", "rrt", "--help"])
+    assert exc.value.code == 0
+    out = capsys.readouterr().out
+    # The Fig. 20 options surface through the real CLI.
+    assert "--epsilon" in out
+    assert "--samples" in out
+    assert "--bias" in out
+
+
+def test_run_small_kernel_end_to_end(capsys):
+    assert main(["run", "cem", "--iterations", "1", "--samples", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "15.cem" in out
+    assert "ROI time" in out
+
+
+def test_run_writes_output_file(tmp_path, capsys):
+    target = tmp_path / "result.txt"
+    code = main(
+        ["run", "cem", "--iterations", "1", "--samples", "3",
+         "--output", str(target)]
+    )
+    assert code == 0
+    assert target.exists()
+    assert "15.cem" in target.read_text()

@@ -1,0 +1,105 @@
+"""Tests for the cross-entropy method (15.cem)."""
+
+import numpy as np
+import pytest
+
+from repro.control.cem import CemConfig, CemKernel, CrossEntropyMethod
+from repro.harness.profiler import PhaseProfiler
+from repro.robots.ball_thrower import BallThrower
+
+
+def _quadratic_reward(target):
+    def reward(x):
+        return -float(np.sum((x - target) ** 2))
+
+    return reward
+
+
+BOUNDS = np.array([[-5.0, 5.0], [-5.0, 5.0]])
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        CrossEntropyMethod(lambda x: 0.0, np.zeros((2, 3)))
+    with pytest.raises(ValueError):
+        CrossEntropyMethod(lambda x: 0.0, BOUNDS, elite_fraction=0.0)
+
+
+def test_converges_on_quadratic():
+    target = np.array([1.5, -2.0])
+    cem = CrossEntropyMethod(
+        _quadratic_reward(target), BOUNDS, n_samples=30,
+        rng=np.random.default_rng(0),
+    )
+    policy, best = cem.optimize(n_iterations=15)
+    assert np.allclose(policy, target, atol=0.3)
+    assert best > -0.2
+
+
+def test_reward_history_improves():
+    target = np.array([0.5, 0.5])
+    cem = CrossEntropyMethod(
+        _quadratic_reward(target), BOUNDS, n_samples=25,
+        rng=np.random.default_rng(1),
+    )
+    cem.optimize(n_iterations=10)
+    assert cem.reward_history[-1] > cem.reward_history[0]
+
+
+def test_sigma_shrinks_with_convergence():
+    cem = CrossEntropyMethod(
+        _quadratic_reward(np.zeros(2)), BOUNDS, n_samples=30,
+        rng=np.random.default_rng(2),
+    )
+    initial_sigma = cem.sigma.copy()
+    cem.optimize(n_iterations=10)
+    assert (cem.sigma < initial_sigma).all()
+    assert (cem.sigma >= cem.min_sigma).all()
+
+
+def test_samples_respect_bounds():
+    seen = []
+
+    def recording_reward(x):
+        seen.append(x.copy())
+        return 0.0
+
+    cem = CrossEntropyMethod(recording_reward, BOUNDS, n_samples=20,
+                             rng=np.random.default_rng(3))
+    cem.iterate()
+    arr = np.vstack(seen)
+    assert (arr >= BOUNDS[:, 0] - 1e-9).all()
+    assert (arr <= BOUNDS[:, 1] + 1e-9).all()
+
+
+def test_elite_count():
+    cem = CrossEntropyMethod(lambda x: 0.0, BOUNDS, n_samples=15,
+                             elite_fraction=0.3)
+    assert cem.n_elite == 4  # round(15 * 0.3)
+
+
+def test_profiler_phases():
+    prof = PhaseProfiler()
+    thrower = BallThrower()
+    cem = CrossEntropyMethod(thrower.reward, thrower.parameter_bounds,
+                             rng=np.random.default_rng(0), profiler=prof)
+    cem.optimize(n_iterations=3)
+    for phase in ("rollout", "sort", "refit"):
+        assert phase in prof.stats
+    assert prof.counters["rollouts"] == 3 * cem.n_samples
+    assert prof.counters["sort_elements"] == 3 * cem.n_samples
+
+
+def test_kernel_learns_to_throw():
+    """F18: the paper's 5x15 configuration reaches a good throw."""
+    result = CemKernel().run(CemConfig())
+    out = result.output
+    assert out["best_reward"] > -0.5  # within 50 cm of the goal
+    assert len(out["reward_history"]) == 5
+    assert len(out["sample_rewards"]) == 5 * 15
+
+
+def test_kernel_reward_improves_over_iterations():
+    result = CemKernel().run(CemConfig(seed=3))
+    history = result.output["reward_history"]
+    assert max(history) >= history[0]

@@ -1,0 +1,122 @@
+"""Tests for dynamic movement primitives (13.dmp)."""
+
+import numpy as np
+import pytest
+
+from repro.control.dmp import (
+    DmpConfig,
+    DmpKernel,
+    DynamicMovementPrimitive,
+    demonstration_trajectory,
+)
+from repro.harness.profiler import PhaseProfiler
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        DynamicMovementPrimitive(n_basis=1)
+    dmp = DynamicMovementPrimitive()
+    with pytest.raises(RuntimeError):
+        dmp.rollout(dt=0.01)
+    with pytest.raises(ValueError):
+        dmp.fit(np.zeros((2, 2)), dt=0.01)
+
+
+def test_demonstration_shapes():
+    demo = demonstration_trajectory(steps=100)
+    assert demo.shape == (100, 2)
+    with pytest.raises(ValueError):
+        demonstration_trajectory(kind="spiral")
+
+
+def test_rollout_starts_at_y0_and_converges_to_goal():
+    demo = demonstration_trajectory(steps=150)
+    dmp = DynamicMovementPrimitive(n_basis=25)
+    dmp.fit(demo, dt=0.01)
+    ys, vs, accs = dmp.rollout(dt=0.005)
+    assert np.allclose(ys[0], demo[0], atol=1e-9)
+    assert np.linalg.norm(ys[-1] - demo[-1]) < 0.15
+    # Velocity starts and ends near zero (discrete DMP property).
+    assert np.linalg.norm(vs[0]) < 1e-9
+    assert np.linalg.norm(vs[-1]) < 1.0
+
+
+def test_rollout_reproduces_demonstration_shape():
+    demo = demonstration_trajectory(steps=200)
+    dmp = DynamicMovementPrimitive(n_basis=30)
+    dmp.fit(demo, dt=0.01)
+    ys, _, _ = dmp.rollout(dt=0.01)
+    resampled = np.column_stack(
+        [
+            np.interp(np.linspace(0, 1, len(ys)),
+                      np.linspace(0, 1, len(demo)), demo[:, d])
+            for d in range(2)
+        ]
+    )
+    rms = float(np.sqrt(np.mean((ys - resampled) ** 2)))
+    # The S-curve spans ~15 m; tracking within ~1 m RMS shows the learned
+    # forcing term shapes the attractor (an unforced spring would cut
+    # straight to the goal, several meters off).
+    assert rms < 1.2
+
+
+def test_unforced_dmp_is_worse_than_fitted():
+    demo = demonstration_trajectory(steps=200)
+    fitted = DynamicMovementPrimitive(n_basis=30)
+    fitted.fit(demo, dt=0.01)
+    ys_fit, _, _ = fitted.rollout(dt=0.01)
+    unforced = DynamicMovementPrimitive(n_basis=30)
+    unforced.fit(demo, dt=0.01)
+    unforced.weights = np.zeros_like(unforced.weights)
+    ys_plain, _, _ = unforced.rollout(dt=0.01)
+    ref = np.column_stack(
+        [
+            np.interp(np.linspace(0, 1, len(ys_fit)),
+                      np.linspace(0, 1, len(demo)), demo[:, d])
+            for d in range(2)
+        ]
+    )
+    err_fit = np.sqrt(np.mean((ys_fit - ref) ** 2))
+    err_plain = np.sqrt(np.mean((ys_plain - ref) ** 2))
+    assert err_fit < err_plain
+
+
+def test_goal_change_generalizes():
+    """A DMP replayed toward a new goal still lands on the new goal."""
+    demo = demonstration_trajectory(steps=150)
+    dmp = DynamicMovementPrimitive(n_basis=25)
+    dmp.fit(demo, dt=0.01)
+    new_goal = demo[-1] + np.array([2.0, -1.0])
+    ys, _, _ = dmp.rollout(dt=0.005, goal=new_goal)
+    assert np.linalg.norm(ys[-1] - new_goal) < 0.3
+
+
+def test_temporal_scaling():
+    demo = demonstration_trajectory(steps=150)
+    dmp = DynamicMovementPrimitive(n_basis=25)
+    dmp.fit(demo, dt=0.01)
+    fast, _, _ = dmp.rollout(dt=0.005, tau=dmp.tau / 2.0)
+    slow, _, _ = dmp.rollout(dt=0.005, tau=dmp.tau)
+    assert len(fast) < len(slow)
+    # Both still end at the goal.
+    assert np.linalg.norm(fast[-1] - demo[-1]) < 0.3
+
+
+def test_profiler_phases():
+    prof = PhaseProfiler()
+    dmp = DynamicMovementPrimitive(n_basis=20, profiler=prof)
+    dmp.fit(demonstration_trajectory(steps=100), dt=0.01)
+    dmp.rollout(dt=0.01)
+    assert "fit" in prof.stats
+    assert "integrate" in prof.stats
+    assert "basis_eval" in prof.stats
+    assert prof.counters["basis_evaluations"] > 0
+
+
+def test_kernel_end_to_end():
+    result = DmpKernel().run(DmpConfig(demo_steps=120, dt=0.01))
+    out = result.output
+    assert out["endpoint_error"] < 0.3
+    assert out["trajectory"].shape == out["velocity"].shape
+    fr = result.profiler.fractions()
+    assert fr.get("integrate", 0) + fr.get("basis_eval", 0) > 0.6

@@ -1,0 +1,151 @@
+"""Tests for the Gaussian process and Bayesian optimization (16.bo)."""
+
+import numpy as np
+import pytest
+
+from repro.control.bayesopt import BayesianOptimizer, BoConfig, BoKernel
+from repro.control.gp import GaussianProcess, rbf_kernel
+from repro.harness.profiler import PhaseProfiler
+from repro.robots.ball_thrower import BallThrower
+
+
+# -- GP ------------------------------------------------------------------------
+
+
+def test_gp_validation():
+    with pytest.raises(ValueError):
+        GaussianProcess(length_scale=0.0)
+    gp = GaussianProcess()
+    with pytest.raises(RuntimeError):
+        gp.predict(np.zeros((1, 1)))
+    with pytest.raises(ValueError):
+        gp.fit(np.zeros((3, 1)), np.zeros(2))
+
+
+def test_rbf_kernel_properties(rng):
+    x = rng.normal(size=(10, 2))
+    k = rbf_kernel(x, x, length_scale=1.0, signal_var=2.0)
+    assert np.allclose(np.diag(k), 2.0)
+    assert np.allclose(k, k.T)
+    eigvals = np.linalg.eigvalsh(k)
+    assert eigvals.min() > -1e-9  # positive semidefinite
+
+
+def test_gp_interpolates_training_points(rng):
+    x = np.linspace(0, 1, 8)[:, None]
+    y = np.sin(4 * x).ravel()
+    gp = GaussianProcess(length_scale=0.3, noise_var=1e-8)
+    gp.fit(x, y)
+    mean, var = gp.predict(x)
+    assert np.allclose(mean, y, atol=1e-3)
+    assert (var < 1e-3).all()
+
+
+def test_gp_uncertainty_grows_away_from_data():
+    x = np.array([[0.0], [0.1]])
+    gp = GaussianProcess(length_scale=0.1)
+    gp.fit(x, np.array([1.0, 1.1]))
+    _, var_near = gp.predict(np.array([[0.05]]))
+    _, var_far = gp.predict(np.array([[3.0]]))
+    assert var_far[0] > var_near[0]
+
+
+def test_gp_prediction_quality(rng):
+    x = rng.uniform(0, 1, size=(40, 1))
+    y = np.cos(3 * x).ravel() + rng.normal(0, 0.01, 40)
+    gp = GaussianProcess(length_scale=0.3, noise_var=1e-3)
+    gp.fit(x, y)
+    xq = np.linspace(0.1, 0.9, 20)[:, None]
+    mean, _ = gp.predict(xq)
+    assert np.max(np.abs(mean - np.cos(3 * xq).ravel())) < 0.1
+
+
+def test_gp_ucb_exceeds_mean():
+    gp = GaussianProcess()
+    gp.fit(np.array([[0.0]]), np.array([1.0]))
+    xq = np.array([[0.5]])
+    mean, _ = gp.predict(xq)
+    assert gp.ucb(xq, beta=2.0)[0] > mean[0]
+
+
+# -- BO -------------------------------------------------------------------------
+
+
+def test_bo_validation():
+    with pytest.raises(ValueError):
+        BayesianOptimizer(lambda x: 0.0, np.zeros((2, 3)))
+
+
+def test_bo_optimizes_quadratic():
+    target = np.array([0.3, -0.6])
+    bounds = np.array([[-2.0, 2.0], [-2.0, 2.0]])
+
+    def reward(x):
+        return -float(np.sum((x - target) ** 2))
+
+    bo = BayesianOptimizer(reward, bounds, n_candidates=256,
+                           rng=np.random.default_rng(0))
+    best_x, best_y = bo.optimize(n_iterations=25)
+    assert best_y > -0.1
+    assert np.allclose(best_x, target, atol=0.4)
+
+
+def test_bo_beats_random_search_on_average():
+    """BO is data-efficient: with a matched trial budget it beats random
+    search on average across seeds (any single seed can get lucky)."""
+    thrower = BallThrower()
+    bounds = thrower.parameter_bounds
+    budget = 25
+    random_scores, bo_scores = [], []
+    for seed in range(5):
+        rng = np.random.default_rng(seed)
+        random_scores.append(max(
+            thrower.reward(rng.uniform(bounds[:, 0], bounds[:, 1]))
+            for _ in range(budget)
+        ))
+        bo = BayesianOptimizer(thrower.reward, bounds,
+                               rng=np.random.default_rng(seed))
+        _, best = bo.optimize(n_iterations=budget)
+        bo_scores.append(best)
+    assert np.mean(bo_scores) >= np.mean(random_scores)
+
+
+def test_bo_observation_bookkeeping():
+    bo = BayesianOptimizer(lambda x: float(x[0]), np.array([[0.0, 1.0]]),
+                           rng=np.random.default_rng(1))
+    bo.optimize(n_iterations=10)
+    assert len(bo.observed_x) == 10
+    assert len(bo.reward_history) == 10
+
+
+def test_bo_profiler_phases():
+    prof = PhaseProfiler()
+    thrower = BallThrower()
+    bo = BayesianOptimizer(thrower.reward, thrower.parameter_bounds,
+                           rng=np.random.default_rng(2), profiler=prof)
+    bo.optimize(n_iterations=8)
+    for phase in ("gp_fit", "acquisition", "sort", "rollout"):
+        assert phase in prof.stats
+    assert prof.counters["gp_fits"] == 8 - bo.n_initial
+
+
+def test_kernel_f19_learning_curve():
+    """F19: 45 iterations; best reward is close to a perfect throw."""
+    result = BoKernel().run(BoConfig())
+    out = result.output
+    assert len(out["reward_history"]) == 45
+    assert out["best_reward"] > -0.3
+    assert max(out["reward_history"]) > out["reward_history"][0]
+
+
+def test_bo_more_compute_than_cem():
+    """E16: bo is the heavier kernel and its sort moves more metadata."""
+    from repro.harness.runner import run_kernel
+
+    cem = run_kernel("cem", seed=0)
+    bo = run_kernel("bo", seed=0)
+    assert bo.roi_time > cem.roi_time
+    assert (
+        bo.profiler.counters["sort_elements"]
+        > 6 * cem.profiler.counters["sort_elements"]
+    )

@@ -1,0 +1,98 @@
+"""Tests for model predictive control (14.mpc)."""
+
+import numpy as np
+import pytest
+
+from repro.control.mpc import (
+    ModelPredictiveController,
+    MpcConfig,
+    MpcKernel,
+    reference_trajectory,
+)
+from repro.harness.profiler import PhaseProfiler
+from repro.robots.bicycle import BicycleModel, BicycleState
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ModelPredictiveController(BicycleModel(), horizon=0)
+
+
+def test_reference_trajectory_shape():
+    ref = reference_trajectory(n_steps=50, speed=5.0)
+    assert ref.shape == (51, 4)
+    assert (ref[:, 3] == 5.0).all()
+    # Consecutive points spaced ~speed*dt.
+    step = np.linalg.norm(np.diff(ref[:, :2], axis=0), axis=1)
+    assert np.allclose(step, 0.5, atol=0.05)
+
+
+def test_solve_returns_bounded_controls():
+    model = BicycleModel()
+    controller = ModelPredictiveController(model, horizon=8, dt=0.1)
+    ref = reference_trajectory(n_steps=20, speed=8.0)
+    plan = controller.solve(BicycleState(v=8.0), ref[: 8 + 1])
+    assert plan.shape == (8, 2)
+    assert (np.abs(plan[:, 0]) <= model.max_accel + 1e-9).all()
+    assert (np.abs(plan[:, 1]) <= model.max_steer + 1e-9).all()
+
+
+def test_tracking_straight_road():
+    model = BicycleModel()
+    controller = ModelPredictiveController(model, horizon=10, dt=0.1)
+    ref = reference_trajectory(n_steps=60, speed=8.0, curvature=0.0)
+    out = controller.track(BicycleState(v=8.0), ref)
+    assert out["errors"].mean() < 0.2
+
+
+def test_tracking_curvy_road_stays_close():
+    model = BicycleModel()
+    controller = ModelPredictiveController(model, horizon=12, dt=0.1)
+    ref = reference_trajectory(n_steps=100, speed=8.0, curvature=0.3)
+    out = controller.track(BicycleState(v=8.0), ref)
+    assert out["errors"].mean() < 0.5
+    assert out["errors"].max() < 2.0
+
+
+def test_tracking_recovers_from_initial_offset():
+    model = BicycleModel()
+    controller = ModelPredictiveController(model, horizon=12, dt=0.1)
+    ref = reference_trajectory(n_steps=80, speed=8.0, curvature=0.0)
+    out = controller.track(BicycleState(y=1.5, v=8.0), ref)
+    # The cross-track error shrinks from the initial 1.5 m offset.
+    assert out["errors"][-1] < out["errors"][0]
+    assert out["errors"][-1] < 0.4
+
+
+def test_speed_constraint_respected():
+    model = BicycleModel(max_speed=6.0)
+    controller = ModelPredictiveController(model, horizon=10, dt=0.1)
+    ref = reference_trajectory(n_steps=50, speed=12.0)  # wants too fast
+    out = controller.track(BicycleState(v=6.0), ref)
+    assert (out["states"][:, 3] <= 6.0 + 1e-9).all()
+
+
+def test_optimize_phase_dominates():
+    prof = PhaseProfiler()
+    model = BicycleModel()
+    controller = ModelPredictiveController(model, horizon=10, dt=0.1,
+                                           profiler=prof)
+    ref = reference_trajectory(n_steps=30, speed=8.0)
+    controller.track(BicycleState(v=8.0), ref)
+    assert prof.fraction("optimize") > 0.6
+    assert prof.counters["riccati_steps"] > 0
+
+
+def test_window_pads_at_the_end():
+    model = BicycleModel()
+    controller = ModelPredictiveController(model, horizon=10, dt=0.1)
+    ref = reference_trajectory(n_steps=5)
+    window = controller._window(ref, 3)
+    assert window.shape == (11, 4)
+    assert np.allclose(window[-1], ref[-1])
+
+
+def test_kernel_end_to_end():
+    result = MpcKernel().run(MpcConfig(steps=60))
+    assert result.output["mean_error"] < 0.5
+    assert result.profiler.fraction("optimize") > 0.6

@@ -1,0 +1,76 @@
+"""Quality gate: every public item in the library carries a docstring.
+
+"Doc comments on every public item" is a deliverable; this meta-test
+keeps it true as the code evolves.  Private names (leading underscore)
+and dataclass-generated plumbing are exempt.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+# Modules whose import has side effects worth skipping in a meta-test.
+_SKIP = {"repro.harness.cli"}
+
+
+def _walk_modules():
+    modules = [repro]
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name in _SKIP:
+            continue
+        modules.append(importlib.import_module(info.name))
+    return modules
+
+
+def _public_members(module):
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if getattr(obj, "__module__", None) != module.__name__:
+            continue  # re-exports are documented at their home module
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            yield name, obj
+
+
+def test_every_module_has_a_docstring():
+    missing = [
+        m.__name__ for m in _walk_modules() if not inspect.getdoc(m)
+    ]
+    assert not missing, f"modules without docstrings: {missing}"
+
+
+def test_every_public_class_and_function_has_a_docstring():
+    missing = []
+    for module in _walk_modules():
+        for name, obj in _public_members(module):
+            if not inspect.getdoc(obj):
+                missing.append(f"{module.__name__}.{name}")
+    assert not missing, f"undocumented public items: {missing}"
+
+
+def test_public_methods_have_docstrings():
+    """Public methods on public classes are documented too."""
+    missing = []
+    for module in _walk_modules():
+        for cls_name, cls in _public_members(module):
+            if not inspect.isclass(cls):
+                continue
+            for name, member in vars(cls).items():
+                if name.startswith("_"):
+                    continue
+                if not (inspect.isfunction(member)
+                        or isinstance(member, (staticmethod, classmethod,
+                                               property))):
+                    continue
+                target = member
+                if isinstance(member, (staticmethod, classmethod)):
+                    target = member.__func__
+                if isinstance(member, property):
+                    target = member.fget
+                if target is not None and not inspect.getdoc(target):
+                    missing.append(f"{module.__name__}.{cls_name}.{name}")
+    assert not missing, f"undocumented public methods: {missing}"

@@ -1,0 +1,98 @@
+"""Tests for the arm workspaces (Map-F / Map-C)."""
+
+import numpy as np
+import pytest
+
+from repro.envs.arm_maps import default_arm, map_c, map_f
+
+
+def test_map_f_has_no_obstacles():
+    ws = map_f()
+    assert ws.obstacles == []
+    assert ws.name == "Map-F"
+
+
+def test_map_c_is_cluttered():
+    ws = map_c()
+    assert len(ws.obstacles) >= 4
+    assert ws.name == "Map-C"
+
+
+def test_workspace_bounds():
+    ws = map_f()
+    assert ws.in_bounds(0.25, 0.25)
+    assert not ws.in_bounds(-0.01, 0.25)
+    assert not ws.in_bounds(0.25, ws.size + 0.01)
+
+
+def test_default_arm_fits_workspace():
+    ws = map_f()
+    arm = default_arm()
+    assert arm.dof == 5
+    # Reach from the centered base never leaves the arena.
+    assert arm.reach < ws.size / 2.0
+
+
+def test_free_map_never_collides(rng):
+    ws = map_f()
+    arm = default_arm()
+    for _ in range(100):
+        q = arm.sample_configuration(rng)
+        assert not ws.config_collides(arm, q)
+
+
+def test_cluttered_map_sometimes_collides(rng):
+    ws = map_c()
+    arm = default_arm()
+    outcomes = {
+        ws.config_collides(arm, arm.sample_configuration(rng))
+        for _ in range(200)
+    }
+    assert outcomes == {True, False}
+
+
+def test_config_reaching_into_obstacle_collides():
+    ws = map_c()
+    arm = default_arm()
+    rect = ws.obstacles[0]
+    target = (
+        (rect.xmin + rect.xmax) / 2.0,
+        (rect.ymin + rect.ymax) / 2.0,
+    )
+    # Point the whole arm straight at the obstacle center.
+    angle = np.arctan2(target[1] - ws.base[1], target[0] - ws.base[0])
+    q = np.array([angle] + [0.0] * (arm.dof - 1))
+    dist = np.hypot(target[0] - ws.base[0], target[1] - ws.base[1])
+    if dist <= arm.reach:
+        assert ws.config_collides(arm, q)
+
+
+def test_edge_collides_detects_sweep_through_obstacle(rng):
+    ws = map_c()
+    arm = default_arm()
+    # Straight arm sweeping a half-circle must pass through some obstacle.
+    q0 = np.zeros(arm.dof)
+    q1 = np.array([np.pi] + [0.0] * (arm.dof - 1))
+    collides_somewhere = ws.edge_collides(arm, q0, q1, step=0.02)
+    # The sweep covers the full disk of radius `reach`; Map-C has
+    # obstacles within that disk, so the sweep must hit one.
+    assert collides_somewhere
+
+
+def test_edge_collides_free_in_map_f(rng):
+    ws = map_f()
+    arm = default_arm()
+    q0 = arm.sample_configuration(rng)
+    q1 = arm.sample_configuration(rng)
+    assert not ws.edge_collides(arm, q0, q1)
+
+
+def test_edge_collides_counts(rng):
+    ws = map_c()
+    arm = default_arm()
+    counts = {}
+    ws.edge_collides(
+        arm, np.zeros(5), np.full(5, 0.5),
+        count=lambda n, k: counts.__setitem__(n, counts.get(n, 0) + k),
+    )
+    assert counts.get("segment_obstacle_tests", 0) > 0

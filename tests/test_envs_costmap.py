@@ -1,0 +1,53 @@
+"""Tests for the movtar cost fields."""
+
+import numpy as np
+import pytest
+
+from repro.envs.costmap import CostField, synthetic_costmap, target_trajectory
+
+
+def test_synthetic_costmap_properties():
+    field = synthetic_costmap(rows=40, cols=40, seed=0)
+    assert field.shape == (40, 40)
+    free = ~field.obstacles
+    assert (field.cost[free] >= 1.0).all()
+    assert 0.0 < field.obstacles.mean() < 0.4
+
+
+def test_costmap_deterministic():
+    a = synthetic_costmap(seed=7)
+    b = synthetic_costmap(seed=7)
+    assert np.array_equal(a.cost, b.cost)
+    assert np.array_equal(a.obstacles, b.obstacles)
+
+
+def test_cost_field_validation():
+    with pytest.raises(ValueError, match="equal shape"):
+        CostField(np.ones((3, 3)), np.zeros((4, 4), dtype=bool))
+    with pytest.raises(ValueError, match="positive"):
+        CostField(np.zeros((3, 3)), np.zeros((3, 3), dtype=bool))
+
+
+def test_is_free_and_in_bounds():
+    field = synthetic_costmap(rows=20, cols=20, seed=1)
+    assert not field.is_free(-1, 0)
+    assert not field.is_free(0, 20)
+    r, c = np.argwhere(field.obstacles)[0]
+    assert not field.is_free(int(r), int(c))
+
+
+def test_target_trajectory_length_and_freedom():
+    field = synthetic_costmap(rows=48, cols=48, seed=2)
+    traj = target_trajectory(field, 100, seed=2)
+    assert traj.shape == (100, 2)
+    for r, c in traj:
+        assert field.in_bounds(int(r), int(c))
+        assert not field.obstacles[int(r), int(c)]
+
+
+def test_target_trajectory_moves_smoothly():
+    field = synthetic_costmap(rows=48, cols=48, seed=3)
+    traj = target_trajectory(field, 60, seed=3)
+    steps = np.abs(np.diff(traj, axis=0)).max(axis=1)
+    # Cell-to-cell motion (allowing small obstacle-avoidance nudges).
+    assert steps.max() <= 3

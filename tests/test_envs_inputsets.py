@@ -1,0 +1,97 @@
+"""Tests for the named inputset registry (paper section VI)."""
+
+import dataclasses
+
+import pytest
+
+from repro.envs.inputsets import INPUTSETS, inputset_names, inputset_overrides
+from repro.harness.cli import main
+from repro.harness.runner import load_all_kernels, registry, run_kernel
+
+
+def test_every_kernel_has_inputsets():
+    load_all_kernels()
+    for name in registry.names():
+        suffix = name.split(".", 1)[-1]
+        assert suffix in INPUTSETS, f"kernel {name} has no inputsets"
+        assert "default" in INPUTSETS[suffix]
+
+
+def test_every_inputset_overrides_real_config_fields():
+    """Every override key must be a field of the kernel's config class."""
+    load_all_kernels()
+    for suffix, sets in INPUTSETS.items():
+        cls = registry.get(suffix)
+        field_names = {f.name for f in dataclasses.fields(cls.config_cls)}
+        for set_name, overrides in sets.items():
+            unknown = set(overrides) - field_names
+            assert not unknown, (
+                f"{suffix}/{set_name}: unknown config fields {unknown}"
+            )
+
+
+def test_inputset_names_and_overrides():
+    assert "dense-city" in inputset_names("pp2d")
+    assert inputset_names("04.pp2d") == inputset_names("pp2d")
+    overrides = inputset_overrides("pp2d", "dense-city")
+    assert overrides["rows"] == 256
+
+
+def test_unknown_kernel_or_set_raises():
+    with pytest.raises(KeyError, match="no inputsets"):
+        inputset_names("teleport")
+    with pytest.raises(KeyError, match="no inputset"):
+        inputset_overrides("pp2d", "marsmap")
+
+
+def test_run_kernel_with_inputset_overrides():
+    result = run_kernel("cem", **inputset_overrides("cem", "big-population"))
+    assert result.config.samples == 60
+    assert len(result.output["sample_rewards"]) == 10 * 60
+
+
+def test_cli_inputsets_command(capsys):
+    assert main(["inputsets", "rrt"]) == 0
+    out = capsys.readouterr().out
+    assert "map-f" in out
+
+
+def test_cli_inputsets_all(capsys):
+    assert main(["inputsets"]) == 0
+    out = capsys.readouterr().out
+    assert "pp2d" in out and "bo" in out
+
+
+def test_cli_inputsets_unknown(capsys):
+    assert main(["inputsets", "warp"]) == 2
+
+
+def test_cli_run_with_inputset(capsys):
+    code = main(["run", "cem", "--inputset", "big-population", "--seed", "2"])
+    assert code == 0
+    assert "15.cem" in capsys.readouterr().out
+
+
+def test_cli_run_inputset_explicit_flag_wins(capsys):
+    code = main(
+        ["run", "cem", "--inputset", "big-population", "--samples", "5"]
+    )
+    assert code == 0
+    # 10 iterations (from the inputset) x 5 samples (explicit override).
+    out = capsys.readouterr().out
+    assert "rollouts                 50" in out
+
+
+def test_cli_run_inputset_missing_name(capsys):
+    assert main(["run", "cem", "--inputset"]) == 2
+
+
+def test_cli_run_inputset_unknown(capsys):
+    assert main(["run", "cem", "--inputset", "nope"]) == 2
+
+
+def test_cli_characterize_subset(capsys):
+    assert main(["characterize", "ekfslam"]) == 0
+    out = capsys.readouterr().out
+    assert "02.ekfslam" in out
+    assert "matrix_ops" in out

@@ -1,0 +1,65 @@
+"""Tests for the MovingAI .map parser."""
+
+import numpy as np
+import pytest
+
+from repro.envs.mapgen import city_like
+from repro.envs.movingai import load_movingai, parse_movingai, save_movingai
+
+SAMPLE = """type octile
+height 4
+width 6
+map
+......
+..@@..
+..@@..
+.T..W.
+"""
+
+
+def test_parse_sample():
+    grid = parse_movingai(SAMPLE)
+    assert grid.rows == 4
+    assert grid.cols == 6
+    assert grid.is_occupied(1, 2)
+    assert grid.is_occupied(3, 1)  # tree
+    assert grid.is_occupied(3, 4)  # water
+    assert not grid.is_occupied(0, 0)
+
+
+def test_parse_passable_g():
+    grid = parse_movingai("type octile\nheight 1\nwidth 2\nmap\n.G\n")
+    assert not grid.cells.any()
+
+
+def test_parse_missing_header_raises():
+    with pytest.raises(ValueError, match="missing"):
+        parse_movingai("......\n......")
+
+
+def test_parse_short_body_raises():
+    with pytest.raises(ValueError, match="rows"):
+        parse_movingai("type octile\nheight 5\nwidth 6\nmap\n......\n")
+
+
+def test_parse_short_row_raises():
+    with pytest.raises(ValueError, match="cols"):
+        parse_movingai("type octile\nheight 1\nwidth 6\nmap\n...\n")
+
+
+def test_parse_unknown_terrain_raises():
+    with pytest.raises(ValueError, match="unknown terrain"):
+        parse_movingai("type octile\nheight 1\nwidth 3\nmap\n.?.\n")
+
+
+def test_round_trip(tmp_path):
+    grid = city_like(rows=32, cols=32, seed=5)
+    path = tmp_path / "city.map"
+    save_movingai(grid, path)
+    loaded = load_movingai(path)
+    assert np.array_equal(loaded.cells, grid.cells)
+
+
+def test_resolution_passthrough():
+    grid = parse_movingai(SAMPLE, resolution=0.5)
+    assert grid.resolution == 0.5

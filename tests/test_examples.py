@@ -1,0 +1,44 @@
+"""Smoke tests: the runnable examples actually run.
+
+Each example is executed in-process (imported as ``__main__``-style via
+``runpy``) with stdout captured; only the fast ones are exercised here —
+``benchmark_report.py`` is covered by the benchmark suite itself.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run_example(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_firefighter_mission(capsys):
+    out = _run_example("firefighter_mission.py", capsys)
+    assert "pours water on the fire" in out
+    assert "Goal verified" in out
+
+
+def test_quickstart(capsys):
+    out = _run_example("quickstart.py", capsys)
+    assert "01.pfl" in out
+    assert "Weighted A*" in out
+
+
+def test_warehouse_amr(capsys):
+    out = _run_example("warehouse_amr.py", capsys)
+    assert "PERCEPTION" in out
+    assert "tracking error" in out
+    assert "dominant: raycast" in out
+
+
+def test_drone_survey(capsys):
+    out = _run_example("drone_survey.py", capsys)
+    assert "TRANSIT" in out
+    assert "intercepted" in out

@@ -1,0 +1,95 @@
+"""Tests for the experiment runners (scaled-down where expensive)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import EXPERIMENTS, run_experiment
+from repro.experiments.characterization import (
+    EXPECTATIONS,
+    characterize_kernel,
+    render_characterization,
+)
+from repro.experiments.fig21_comparison import render_fig21, run_fig21
+from repro.experiments.figures_control import run_bo_vs_cem, run_fig18_cem
+from repro.experiments.figures_perception import render_fig2, run_fig3_ekfslam
+from repro.experiments.figures_planning import (
+    render_movtar,
+    run_movtar_input_dependence,
+    run_symbolic_branching,
+)
+
+
+def test_registry_has_all_design_ids():
+    for experiment_id in ("T1", "F2", "F3", "F4", "E6", "E9", "E11",
+                          "F15", "F18", "F19", "E16", "F21"):
+        assert experiment_id in EXPERIMENTS
+
+
+def test_unknown_experiment_raises():
+    with pytest.raises(KeyError, match="unknown experiment"):
+        run_experiment("Z99")
+
+
+def test_expectations_cover_all_kernels():
+    assert len(EXPECTATIONS) == 16
+
+
+def test_characterize_one_kernel_matches_paper():
+    row = characterize_kernel(
+        next(e for e in EXPECTATIONS if e.kernel == "02.ekfslam")
+    )
+    assert row.matches_paper
+    assert "matrix_ops" in row.fractions
+    text = render_characterization([row])
+    assert "02.ekfslam" in text
+
+
+def test_fig3_ekfslam_claims():
+    fig = run_fig3_ekfslam(seed=0)
+    assert fig.final_pose_error < 1.0
+    assert fig.mean_landmark_error < 1.0
+    assert len(fig.landmark_uncertainties) == 6
+
+
+def test_movtar_input_dependence_shape():
+    points = run_movtar_input_dependence(seed=0)
+    assert len(points) == 4
+    # E6: heuristic share falls as the environment grows.
+    assert points[0].heuristic_share > points[-1].heuristic_share
+    text = render_movtar(points)
+    assert "heuristic" in text
+
+
+def test_symbolic_branching_ratio():
+    result = run_symbolic_branching()
+    # Paper: ~3.2x more parallelism in sym-fext.
+    assert result.ratio > 2.0
+
+
+def test_fig18_cem_learning_curve():
+    curve = run_fig18_cem(seed=0)
+    assert curve.improved or curve.best_reward > -0.5
+    assert len(curve.reward_history) == 5
+
+
+def test_bo_vs_cem_ratios():
+    result = run_bo_vs_cem(seed=0)
+    assert result.time_ratio > 1.0
+    assert result.sort_ratio > 6.0
+
+
+def test_fig21_small_sweep():
+    points = run_fig21(scales=[1, 2], educational_max_scale=2)
+    assert len(points) == 2
+    assert all(p.speedup and p.speedup > 1.0 for p in points)
+    assert points[1].speedup > points[0].speedup
+    text = render_fig21(points)
+    assert "speedup" in text
+
+
+def test_fig2_render():
+    from repro.experiments.figures_perception import PflRegionResult
+
+    rows = [PflRegionResult(0, 20.0, 0.2, 0.1, True)]
+    text = render_fig2(rows)
+    assert "region" in text and "yes" in text

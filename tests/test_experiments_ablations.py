@@ -1,0 +1,76 @@
+"""Fast unit tests for the ablation runners (scaled-down workloads).
+
+The full-size ablations live in ``benchmarks/test_ablations.py``; these
+exercise the same code paths in seconds so test failures localize.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.ablations import (
+    ablate_bo_acquisition,
+    ablate_ekf_landmarks,
+    ablate_epsilon,
+    ablate_icp_metric,
+    ablate_mpc_horizon,
+    ablate_particles,
+    ablate_raycast_method,
+    ablate_symbolic_heuristics,
+)
+
+
+def test_epsilon_points_are_ordered_and_bounded():
+    points = ablate_epsilon(epsilons=[1.0, 3.0])
+    assert [p.epsilon for p in points] == [1.0, 3.0]
+    assert points[1].cost <= 3.0 * points[0].cost + 1e-9
+    assert points[1].expansions <= points[0].expansions
+
+
+def test_particles_points_fields():
+    points = ablate_particles(counts=[100, 200])
+    assert points[0].particles == 100
+    # At tiny counts total ray work is dominated by per-ray length (lost
+    # particles cast long rays), so only basic sanity is asserted here;
+    # the linear-scaling claim is checked at realistic counts in
+    # benchmarks/test_ablations.py.
+    assert all(p.raycast_checks > 0 for p in points)
+    assert all(p.roi_time > 0 for p in points)
+
+
+def test_ekf_landmarks_scaling_fields():
+    points = ablate_ekf_landmarks(counts=[4, 12])
+    assert points[0].state_dim == 11
+    assert points[1].state_dim == 27
+    assert points[1].time_per_update > points[0].time_per_update
+
+
+def test_mpc_horizon_fields():
+    points = ablate_mpc_horizon(horizons=[4, 12])
+    assert [p.horizon for p in points] == [4, 12]
+    assert points[1].roi_time > points[0].roi_time
+
+
+def test_raycast_method_small():
+    result = ablate_raycast_method(n_rays=60)
+    assert result.rays == 60
+    assert result.undershoots == 0
+    assert result.max_disagreement >= 0.0
+
+
+def test_symbolic_heuristics_blkw_domain():
+    points = ablate_symbolic_heuristics(domain="blkw")
+    kinds = {p.heuristic for p in points}
+    assert kinds == {"goal-count", "hmax", "hadd"}
+    assert len({p.plan_length for p in points}) == 1
+
+
+def test_icp_metric_quick():
+    result = ablate_icp_metric(seed=1)
+    assert result.p2p_error < 0.05
+    assert result.p2plane_error < 0.05
+
+
+def test_bo_acquisition_single_seed():
+    result = ablate_bo_acquisition(seeds=[0])
+    assert np.isfinite(result.ucb_best)
+    assert np.isfinite(result.ei_best)

@@ -1,0 +1,60 @@
+"""Tests for the 3D voxel grid."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.grid3d import OccupancyGrid3D
+
+
+def test_empty_shape():
+    grid = OccupancyGrid3D.empty(4, 5, 6)
+    assert grid.shape == (4, 5, 6)
+    assert grid.occupancy_ratio() == 0.0
+
+
+def test_constructor_validates():
+    with pytest.raises(ValueError):
+        OccupancyGrid3D(np.zeros((3, 3), dtype=bool))
+    with pytest.raises(ValueError):
+        OccupancyGrid3D.empty(2, 2, 2, resolution=-1)
+
+
+def test_world_cell_round_trip():
+    grid = OccupancyGrid3D.empty(8, 8, 8, resolution=0.25, origin=(1, 2, 3))
+    zi, yi, xi = 3, 5, 7
+    x, y, z = grid.cell_to_world(zi, yi, xi)
+    assert grid.world_to_cell(x, y, z) == (zi, yi, xi)
+
+
+def test_out_of_bounds_is_occupied():
+    grid = OccupancyGrid3D.empty(3, 3, 3)
+    assert grid.is_occupied(-1, 0, 0)
+    assert grid.is_occupied(0, 3, 0)
+    assert not grid.is_occupied(1, 1, 1)
+
+
+def test_fill_box():
+    grid = OccupancyGrid3D.empty(5, 5, 5)
+    grid.fill_box(1, 1, 1, 3, 3, 3)
+    assert grid.cells[1:4, 1:4, 1:4].all()
+    assert not grid.cells[0].any()
+
+
+def test_fill_box_clips_and_reorders():
+    grid = OccupancyGrid3D.empty(4, 4, 4)
+    grid.fill_box(3, 3, 3, -10, -10, -10)
+    assert grid.cells.all()
+
+
+def test_sample_free_cell(rng):
+    grid = OccupancyGrid3D.empty(4, 4, 4)
+    grid.fill_box(0, 0, 0, 3, 3, 1)  # block the low-x half
+    for _ in range(10):
+        zi, yi, xi = grid.sample_free_cell(rng)
+        assert not grid.is_occupied(zi, yi, xi)
+
+
+def test_sample_free_cell_full_raises(rng):
+    grid = OccupancyGrid3D(np.ones((2, 2, 2), dtype=bool))
+    with pytest.raises(ValueError):
+        grid.sample_free_cell(rng)

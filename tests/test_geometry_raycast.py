@@ -1,0 +1,97 @@
+"""Tests for grid ray casting."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.grid2d import OccupancyGrid2D
+from repro.geometry.raycast import cast_ray, cast_rays_batch, scan_from_pose
+
+
+@pytest.fixture
+def corridor():
+    """A 1-cell-tall corridor with a wall at column 15."""
+    grid = OccupancyGrid2D.empty(3, 20, resolution=1.0)
+    grid.fill_rect(0, 15, 2, 15)
+    return grid
+
+
+def test_ray_hits_wall_at_expected_distance(corridor):
+    # From x=0.5 toward +x, the wall cell [15, 16) is ~14.5 away.
+    dist = cast_ray(corridor, 0.5, 1.5, 0.0, max_range=30.0)
+    assert dist == pytest.approx(14.5, abs=0.5)
+
+
+def test_ray_misses_returns_max_range():
+    grid = OccupancyGrid2D.empty(3, 10)
+    dist = cast_ray(grid, 0.5, 1.5, 0.0, max_range=5.0)
+    assert dist == 5.0
+
+
+def test_ray_leaving_map_is_a_hit():
+    """Outside the map counts as occupied, so rays stop at the edge."""
+    grid = OccupancyGrid2D.empty(5, 5)
+    dist = cast_ray(grid, 2.5, 2.5, math.pi, max_range=50.0)
+    assert dist <= 3.0
+
+
+def test_batch_matches_scalar(corridor):
+    angles = np.linspace(0, 2 * math.pi, 8, endpoint=False)
+    xs = np.full(8, 2.5)
+    ys = np.full(8, 1.5)
+    batch = cast_rays_batch(corridor, xs, ys, angles, max_range=25.0)
+    for angle, got in zip(angles, batch):
+        want = cast_ray(corridor, 2.5, 1.5, angle, max_range=25.0)
+        assert got == pytest.approx(want, abs=1e-9)
+
+
+def test_batch_counts_cell_checks(corridor):
+    counts = {}
+
+    def count(name, n):
+        counts[name] = counts.get(name, 0) + n
+
+    cast_rays_batch(
+        corridor,
+        np.array([0.5]),
+        np.array([1.5]),
+        np.array([0.0]),
+        max_range=10.0,
+        count=count,
+    )
+    assert counts["raycast_cell_checks"] > 0
+
+
+def test_batch_empty_input():
+    grid = OccupancyGrid2D.empty(3, 3)
+    out = cast_rays_batch(
+        grid, np.empty(0), np.empty(0), np.empty(0), max_range=5.0
+    )
+    assert out.shape == (0,)
+
+
+def test_rays_freeze_after_hit(corridor):
+    """A ray that hits early must not keep consuming max_range steps."""
+    # Two rays: one hits the wall quickly, one runs the corridor's length.
+    xs = np.array([14.0, 0.5])
+    ys = np.array([1.5, 1.5])
+    angles = np.array([0.0, 0.0])
+    out = cast_rays_batch(corridor, xs, ys, angles, max_range=30.0)
+    assert out[0] < 2.0
+    assert out[1] > 10.0
+
+
+def test_scan_from_pose_shape_and_range(corridor):
+    scan = scan_from_pose(corridor, 2.5, 1.5, 0.0, n_beams=12, max_range=9.0)
+    assert scan.shape == (12,)
+    assert (scan > 0).all()
+    assert (scan <= 9.0).all()
+
+
+def test_closer_obstacle_gives_shorter_ray():
+    grid = OccupancyGrid2D.empty(3, 30)
+    grid.fill_rect(0, 10, 2, 10)
+    near = cast_ray(grid, 8.0, 1.5, 0.0, 30.0)
+    far = cast_ray(grid, 2.0, 1.5, 0.0, 30.0)
+    assert near < far

@@ -1,0 +1,89 @@
+"""Tests for kernel configuration and CLI building."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.harness.config import (
+    KernelConfig,
+    build_arg_parser,
+    config_from_args,
+    option,
+)
+
+
+@dataclass
+class _DemoConfig(KernelConfig):
+    """Demo kernel configuration."""
+
+    samples: int = option(100, "Maximum samples")
+    epsilon: float = option(0.5, "Step size")
+    map_name: str = option("map-c", "Workspace name")
+    verbose: bool = option(False, "Chatty output")
+
+
+def test_defaults():
+    config = _DemoConfig()
+    assert config.samples == 100
+    assert config.epsilon == 0.5
+    assert config.seed == 0
+
+
+def test_replace_returns_modified_copy():
+    config = _DemoConfig()
+    other = config.replace(samples=7)
+    assert other.samples == 7
+    assert config.samples == 100
+
+
+def test_describe_mentions_fields():
+    text = _DemoConfig().describe()
+    assert "samples=100" in text
+    assert "epsilon=0.5" in text
+
+
+def test_cli_parses_overrides():
+    config = config_from_args(
+        _DemoConfig, ["--samples", "42", "--epsilon", "1.25", "--seed", "9"]
+    )
+    assert config.samples == 42
+    assert config.epsilon == pytest.approx(1.25)
+    assert config.seed == 9
+
+
+def test_cli_dashes_map_to_underscores():
+    config = config_from_args(_DemoConfig, ["--map-name", "map-f"])
+    assert config.map_name == "map-f"
+
+
+def test_cli_bool_flag():
+    assert config_from_args(_DemoConfig, ["--verbose"]).verbose is True
+    assert config_from_args(_DemoConfig, []).verbose is False
+
+
+def test_help_message_lists_options(capsys):
+    parser = build_arg_parser(_DemoConfig, prog="demo")
+    with pytest.raises(SystemExit):
+        parser.parse_args(["--help"])
+    out = capsys.readouterr().out
+    # The paper's Fig. 20 contract: every option with its help text.
+    assert "--samples" in out
+    assert "Maximum samples" in out
+    assert "default" in out
+
+
+def test_every_registered_kernel_has_a_working_parser():
+    """Fig. 20: all kernels expose --help with their full option set."""
+    from repro.harness.runner import load_all_kernels, registry
+
+    load_all_kernels()
+    for name in registry.names():
+        cls = registry.get(name)
+        parser = build_arg_parser(cls.config_cls, prog=name)
+        config = cls.config_cls(
+            **{
+                f.name: getattr(parser.parse_args([]), f.name)
+                for f in __import__("dataclasses").fields(cls.config_cls)
+            }
+        )
+        assert isinstance(config, KernelConfig)

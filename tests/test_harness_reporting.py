@@ -1,0 +1,58 @@
+"""Tests for text reporting."""
+
+from repro.harness.profiler import PhaseProfiler
+from repro.harness.reporting import (
+    characterization_table,
+    format_table,
+    fractions_table,
+    result_summary,
+)
+from repro.harness.runner import KernelResult
+
+
+def _fake_result() -> KernelResult:
+    prof = PhaseProfiler()
+    with prof.phase("collision"):
+        pass
+    with prof.phase("search"):
+        pass
+    return KernelResult(
+        kernel="04.pp2d",
+        stage="planning",
+        output=None,
+        profiler=prof,
+        roi_time=0.5,
+        metrics={"cost": 12.5},
+    )
+
+
+def test_format_table_alignment():
+    text = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert lines[0].startswith("a")
+    assert "---" in lines[1]
+
+
+def test_format_table_empty_rows():
+    text = format_table(["x"], [])
+    assert "x" in text
+
+
+def test_result_summary_mentions_kernel_and_metrics():
+    text = result_summary(_fake_result())
+    assert "04.pp2d" in text
+    assert "cost" in text
+    assert "ROI time" in text
+
+
+def test_characterization_table_lists_dominant():
+    text = characterization_table([_fake_result()])
+    assert "04.pp2d" in text
+    assert "planning" in text
+
+
+def test_fractions_table():
+    text = fractions_table({"01.pfl": {"raycast": 0.7, "weight": 0.3}})
+    assert "raycast" in text
+    assert "70.0%" in text

@@ -1,0 +1,84 @@
+"""Tests for the ROI markers and hook backends."""
+
+import pytest
+
+from repro.harness.roi import ROI, RecordingHooks, roi_begin, roi_end, set_hooks
+
+
+@pytest.fixture(autouse=True)
+def _restore_hooks():
+    """Make sure every test leaves the default no-op hooks installed."""
+    yield
+    set_hooks(None)
+
+
+def test_default_hooks_are_noops():
+    # Must not raise even without an installed backend.
+    roi_begin("anything")
+    roi_end("anything")
+
+
+def test_recording_hooks_capture_interval():
+    rec = RecordingHooks()
+    set_hooks(rec)
+    with ROI("kernel"):
+        pass
+    assert len(rec.intervals) == 1
+    name, duration = rec.intervals[0]
+    assert name == "kernel"
+    assert duration >= 0.0
+
+
+def test_recording_hooks_nested_rois():
+    rec = RecordingHooks()
+    set_hooks(rec)
+    with ROI("outer"):
+        with ROI("inner"):
+            pass
+    names = [n for n, _ in rec.intervals]
+    assert names == ["inner", "outer"]
+
+
+def test_recording_hooks_mismatch_raises():
+    rec = RecordingHooks()
+    set_hooks(rec)
+    roi_begin("a")
+    with pytest.raises(RuntimeError, match="mismatched"):
+        roi_end("b")
+    # Clean up the dangling ROI for the autouse fixture.
+    set_hooks(None)
+
+
+def test_recording_hooks_end_without_begin_raises():
+    rec = RecordingHooks()
+    set_hooks(rec)
+    with pytest.raises(RuntimeError, match="without matching"):
+        roi_end("orphan")
+
+
+def test_total_time_filters_by_name():
+    rec = RecordingHooks()
+    set_hooks(rec)
+    with ROI("a"):
+        pass
+    with ROI("b"):
+        pass
+    assert rec.total_time("a") <= rec.total_time()
+    assert rec.total_time("missing") == 0.0
+
+
+def test_set_hooks_returns_previous():
+    rec = RecordingHooks()
+    previous = set_hooks(rec)
+    restored = set_hooks(previous)
+    assert restored is rec
+
+
+def test_kernel_run_fires_roi_hooks():
+    """Every kernel run must be bracketed by ROI markers (paper section VI)."""
+    from repro.harness.runner import run_kernel
+
+    rec = RecordingHooks()
+    set_hooks(rec)
+    run_kernel("cem", iterations=1, samples=3)
+    assert any(name == "15.cem" for name, _ in rec.intervals)

@@ -1,0 +1,112 @@
+"""Tests for the kernel runner and registry."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.harness.config import KernelConfig, option
+from repro.harness.profiler import PhaseProfiler
+from repro.harness.runner import (
+    Kernel,
+    KernelRegistry,
+    load_all_kernels,
+    registry,
+    run_kernel,
+)
+
+
+@dataclass
+class _ToyConfig(KernelConfig):
+    value: int = option(3, "A number")
+
+
+class _ToyKernel(Kernel):
+    name = "99.toy"
+    stage = "testing"
+    config_cls = _ToyConfig
+
+    def setup(self, config):
+        return {"prepared": config.value}
+
+    def run_roi(self, config, state, profiler):
+        with profiler.phase("compute"):
+            return state["prepared"] * 2
+
+
+def test_kernel_run_produces_result():
+    result = _ToyKernel().run(_ToyConfig(value=5))
+    assert result.output == 10
+    assert result.kernel == "99.toy"
+    assert result.roi_time >= 0.0
+    assert "compute" in result.profiler.stats
+
+
+def test_kernel_run_with_default_config():
+    result = _ToyKernel().run()
+    assert result.output == 6
+
+
+def test_run_roi_must_be_overridden():
+    class Bare(Kernel):
+        pass
+
+    with pytest.raises(NotImplementedError):
+        Bare().run()
+
+
+def test_registry_register_and_get():
+    reg = KernelRegistry()
+    reg.register(_ToyKernel)
+    assert reg.get("99.toy") is _ToyKernel
+    assert reg.get("toy") is _ToyKernel  # suffix lookup
+
+
+def test_registry_duplicate_raises():
+    reg = KernelRegistry()
+    reg.register(_ToyKernel)
+    with pytest.raises(ValueError, match="duplicate"):
+        reg.register(_ToyKernel)
+
+
+def test_registry_unknown_raises():
+    reg = KernelRegistry()
+    with pytest.raises(KeyError):
+        reg.get("nope")
+
+
+def test_full_suite_registration():
+    """All sixteen paper kernels register under their Table I names."""
+    load_all_kernels()
+    names = registry.names()
+    expected = [
+        "01.pfl", "02.ekfslam", "03.srec", "04.pp2d", "05.pp3d",
+        "06.movtar", "07.prm", "08.rrt", "09.rrtstar", "10.rrtpp",
+        "11.sym-blkw", "12.sym-fext", "13.dmp", "14.mpc", "15.cem", "16.bo",
+    ]
+    for name in expected:
+        assert name in names
+
+
+def test_stages_partition_the_suite():
+    load_all_kernels()
+    perception = registry.by_stage("perception")
+    planning = registry.by_stage("planning")
+    control = registry.by_stage("control")
+    assert len(perception) == 3
+    assert len(planning) == 10  # the paper's 9 + the rrtconnect extension
+    assert len(control) == 4
+
+
+def test_run_kernel_with_overrides():
+    result = run_kernel("cem", iterations=2, samples=4, seed=1)
+    assert result.config.iterations == 2
+    assert result.output["best_reward"] <= 0.0
+
+
+def test_run_kernel_override_on_config():
+    load_all_kernels()
+    cls = registry.get("cem")
+    config = cls.config_cls(iterations=1, samples=3)
+    result = run_kernel("cem", config=config, seed=2)
+    assert result.config.seed == 2
+    assert result.config.iterations == 1

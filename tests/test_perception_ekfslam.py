@@ -1,0 +1,132 @@
+"""Tests for EKF-SLAM (02.ekfslam)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.transforms import SE2
+from repro.perception.ekf_slam import (
+    EKFSlam,
+    EkfSlamConfig,
+    EkfSlamKernel,
+    make_ekfslam_workload,
+)
+from repro.sensors.landmarks import LandmarkSensor, RangeBearing
+
+
+def test_state_dimensions():
+    slam = EKFSlam(n_landmarks=4)
+    assert slam.dim == 3 + 2 * 4
+    assert slam.pose_estimate() == SE2(0, 0, 0)
+
+
+def test_negative_landmarks_raises():
+    with pytest.raises(ValueError):
+        EKFSlam(n_landmarks=-1)
+
+
+def test_predict_straight_motion():
+    slam = EKFSlam(n_landmarks=0)
+    slam.predict(v=1.0, w=0.0, dt=2.0)
+    pose = slam.pose_estimate()
+    assert pose.x == pytest.approx(2.0)
+    assert pose.y == pytest.approx(0.0)
+
+
+def test_predict_arc_motion():
+    slam = EKFSlam(n_landmarks=0)
+    # Quarter circle of radius 1.
+    slam.predict(v=1.0, w=1.0, dt=math.pi / 2.0)
+    pose = slam.pose_estimate()
+    assert pose.x == pytest.approx(1.0, abs=1e-9)
+    assert pose.y == pytest.approx(1.0, abs=1e-9)
+    assert pose.theta == pytest.approx(math.pi / 2.0)
+
+
+def test_predict_grows_uncertainty():
+    slam = EKFSlam(n_landmarks=0)
+    before = np.trace(slam.pose_covariance())
+    slam.predict(1.0, 0.1, 0.5)
+    after = np.trace(slam.pose_covariance())
+    assert after > before
+
+
+def test_first_observation_initializes_landmark():
+    slam = EKFSlam(n_landmarks=1)
+    obs = RangeBearing(range=5.0, bearing=0.0, landmark_id=0)
+    slam.update([obs])
+    assert slam.seen[0]
+    estimate = slam.landmark_estimate(0)
+    assert estimate[0] == pytest.approx(5.0, abs=0.1)
+    assert estimate[1] == pytest.approx(0.0, abs=0.1)
+
+
+def test_update_out_of_range_landmark_raises():
+    slam = EKFSlam(n_landmarks=1)
+    with pytest.raises(ValueError):
+        slam.update([RangeBearing(1.0, 0.0, landmark_id=7)])
+
+
+def test_repeated_observation_shrinks_uncertainty():
+    slam = EKFSlam(n_landmarks=1)
+    obs = RangeBearing(range=5.0, bearing=0.3, landmark_id=0)
+    slam.update([obs])
+    first = np.trace(slam.landmark_covariance(0))
+    for _ in range(10):
+        slam.update([obs])
+    assert np.trace(slam.landmark_covariance(0)) < first
+
+
+def test_full_slam_run_converges():
+    """The paper's Fig. 3 scenario: errors stay small after a loop."""
+    workload = make_ekfslam_workload(n_landmarks=6, n_steps=100, seed=0)
+    slam = EKFSlam(n_landmarks=6)
+    slam.set_pose(workload.true_poses[0])
+    for (v, w), obs in zip(workload.controls, workload.observations):
+        slam.predict(v, w, workload.dt)
+        slam.update(obs)
+    final_error = slam.pose_estimate().distance_to(workload.true_poses[-1])
+    assert final_error < 1.0
+    for j in range(6):
+        assert slam.seen[j]
+        err = np.linalg.norm(slam.landmark_estimate(j) - workload.landmarks[j])
+        assert err < 1.0
+
+
+def test_slam_beats_dead_reckoning():
+    """Measurement updates must beat pure motion-model prediction."""
+    workload = make_ekfslam_workload(n_landmarks=6, n_steps=100, seed=1)
+    with_updates = EKFSlam(n_landmarks=6)
+    without = EKFSlam(n_landmarks=6)
+    for slam in (with_updates, without):
+        slam.set_pose(workload.true_poses[0])
+    # Perturb both with the same control miscalibration.  Stop halfway
+    # around the loop: over a *closed* loop the calibration error cancels
+    # out for dead reckoning, hiding the comparison.
+    half = len(workload.controls) // 2
+    for (v, w), obs in zip(
+        workload.controls[:half], workload.observations[:half]
+    ):
+        noisy_v = v * 1.05  # simulated control miscalibration
+        with_updates.predict(noisy_v, w, workload.dt)
+        with_updates.update(obs)
+        without.predict(noisy_v, w, workload.dt)
+    true_mid = workload.true_poses[half]
+    assert (
+        with_updates.pose_estimate().distance_to(true_mid)
+        < without.pose_estimate().distance_to(true_mid)
+    )
+
+
+def test_workload_observations_within_range():
+    workload = make_ekfslam_workload(n_landmarks=5, n_steps=30, seed=2)
+    for obs_list in workload.observations:
+        for obs in obs_list:
+            assert obs.range <= workload.sensor.max_range + 1.0
+
+
+def test_kernel_matrix_ops_dominate():
+    result = EkfSlamKernel().run(EkfSlamConfig(steps=40))
+    assert result.profiler.fraction("matrix_ops") > 0.7
+    assert result.output["final_pose_error"] < 1.0

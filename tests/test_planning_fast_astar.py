@@ -1,0 +1,137 @@
+"""Tests for the performance-first grid A* and the educational baseline."""
+
+import numpy as np
+import pytest
+
+from repro.envs.mapgen import comparison_map
+from repro.geometry.grid2d import OccupancyGrid2D
+from repro.planning.baselines import (
+    EducationalAStar,
+    grid_to_obstacle_points,
+)
+from repro.planning.fast_astar import fast_grid_astar
+
+
+def test_fast_astar_open_grid():
+    grid = OccupancyGrid2D.empty(20, 20)
+    result = fast_grid_astar(grid, (2, 2), (17, 17))
+    assert result.found
+    assert result.path[0] == (2, 2)
+    assert result.path[-1] == (17, 17)
+    assert result.cost == pytest.approx(15 * np.sqrt(2), rel=0.01)
+
+
+def test_fast_astar_routes_around_wall():
+    grid = OccupancyGrid2D.empty(20, 20)
+    grid.fill_rect(0, 10, 15, 10)
+    result = fast_grid_astar(grid, (5, 5), (5, 15))
+    assert result.found
+    for r, c in result.path:
+        assert not grid.cells[r, c]
+
+
+def test_fast_astar_no_row_wrap():
+    """A wall to the map edge must not leak via flat-index wrapping."""
+    grid = OccupancyGrid2D.empty(10, 10)
+    grid.fill_rect(0, 5, 9, 5)  # full-height wall: right half unreachable
+    result = fast_grid_astar(grid, (5, 2), (5, 8))
+    assert not result.found
+
+
+def test_fast_astar_inflation_blocks_tight_gap():
+    grid = OccupancyGrid2D.empty(21, 21)
+    grid.fill_rect(0, 10, 8, 10)
+    grid.fill_rect(12, 10, 20, 10)  # 3-cell gap rows 9..11
+    thin = fast_grid_astar(grid, (10, 3), (10, 17), robot_radius=0.0)
+    assert thin.found
+    fat = fast_grid_astar(grid, (10, 3), (10, 17), robot_radius=2.0)
+    assert not fat.found
+
+
+def test_fast_astar_occupied_endpoints_raise():
+    grid = OccupancyGrid2D.empty(5, 5)
+    grid.set_occupied(0, 0)
+    with pytest.raises(ValueError):
+        fast_grid_astar(grid, (0, 0), (4, 4))
+    with pytest.raises(ValueError):
+        fast_grid_astar(grid, (4, 4), (0, 0))
+
+
+def test_fast_astar_matches_educational_cost():
+    """Both planners are A*: equal-resolution costs must agree closely."""
+    grid = comparison_map()
+    fast = fast_grid_astar(grid, (10, 10), (50, 50), robot_radius=0.8)
+    ox, oy = grid_to_obstacle_points(grid)
+    edu = EducationalAStar(ox, oy, resolution=1.0, robot_radius=0.8)
+    sx, sy = grid.cell_to_world(10, 10)
+    gx, gy = grid.cell_to_world(50, 50)
+    result = edu.plan(sx, sy, gx, gy)
+    assert fast.found and result.found
+    edu_cost = sum(
+        np.hypot(x1 - x0, y1 - y0)
+        for (x0, y0), (x1, y1) in zip(
+            zip(result.path_x[:-1], result.path_y[:-1]),
+            zip(result.path_x[1:], result.path_y[1:]),
+        )
+    )
+    # Different inflation shapes (disk vs Chebyshev) allow small deltas.
+    assert fast.cost == pytest.approx(edu_cost, rel=0.15)
+
+
+def test_educational_planner_finds_the_demo_path():
+    grid = comparison_map()
+    ox, oy = grid_to_obstacle_points(grid)
+    planner = EducationalAStar(ox, oy, resolution=1.0, robot_radius=0.8)
+    sx, sy = grid.cell_to_world(10, 10)
+    gx, gy = grid.cell_to_world(50, 50)
+    result = planner.plan(sx, sy, gx, gy)
+    assert result.found
+    assert result.path_x[0] == pytest.approx(sx, abs=1.0)
+    assert result.path_x[-1] == pytest.approx(gx, abs=1.0)
+    assert result.expansions > 100
+
+
+def test_educational_validation():
+    with pytest.raises(ValueError):
+        EducationalAStar([1.0], [1.0, 2.0], 1.0, 0.5)
+
+
+def test_educational_unreachable():
+    # Enclose the goal in a box of obstacle points.
+    ox, oy = [], []
+    for i in range(11):
+        ox += [0.0 + i, 0.0 + i, 0.0, 10.0]
+        oy += [0.0, 10.0, 0.0 + i, 0.0 + i]
+    # Inner sealed box around (7, 7).
+    for i in range(5):
+        ox += [5.0 + i, 5.0 + i, 5.0, 9.0]
+        oy += [5.0, 9.0, 5.0 + i, 5.0 + i]
+    planner = EducationalAStar(ox, oy, resolution=1.0, robot_radius=0.4)
+    result = planner.plan(2.0, 2.0, 7.0, 7.0)
+    assert not result.found
+
+
+def test_fig21_speedup_shape():
+    """The optimized planner beats the educational one, more at scale."""
+    import time
+
+    base = comparison_map()
+    speedups = []
+    for scale in (1, 2):
+        grid = base.scaled(scale) if scale > 1 else base
+        start, goal = (10 * scale, 10 * scale), (50 * scale, 50 * scale)
+        t0 = time.perf_counter()
+        fast = fast_grid_astar(grid, start, goal, robot_radius=0.8)
+        fast_time = time.perf_counter() - t0
+        assert fast.found
+        ox, oy = grid_to_obstacle_points(grid)
+        planner = EducationalAStar(ox, oy, grid.resolution, 0.8)
+        sx, sy = grid.cell_to_world(*start)
+        gx, gy = grid.cell_to_world(*goal)
+        t0 = time.perf_counter()
+        edu = planner.plan(sx, sy, gx, gy)
+        edu_time = time.perf_counter() - t0
+        assert edu.found
+        speedups.append(edu_time / fast_time)
+    assert speedups[0] > 3.0  # orders of magnitude in the full experiment
+    assert speedups[1] > speedups[0]  # the gap grows with scale

@@ -1,0 +1,112 @@
+"""Tests for moving-target planning (06.movtar)."""
+
+import numpy as np
+import pytest
+
+from repro.envs.costmap import CostField, synthetic_costmap, target_trajectory
+from repro.harness.profiler import PhaseProfiler
+from repro.planning.moving_target import (
+    MovingTargetPlanner,
+    MovtarConfig,
+    MovingTargetKernel,
+    free_start_far_from,
+)
+
+
+def _uniform_field(rows=20, cols=20):
+    return CostField(
+        cost=np.ones((rows, cols)), obstacles=np.zeros((rows, cols), dtype=bool)
+    )
+
+
+def test_epsilon_validation():
+    field = _uniform_field()
+    traj = np.tile([10, 10], (5, 1))
+    with pytest.raises(ValueError):
+        MovingTargetPlanner(field, traj, epsilon=0.5)
+
+
+def test_catches_stationary_target():
+    field = _uniform_field()
+    traj = np.tile([10, 10], (30, 1))
+    planner = MovingTargetPlanner(field, traj, epsilon=1.0)
+    result = planner.plan((10, 15))
+    assert result.found
+    final = result.path[-1]
+    assert (final[0], final[1]) == (10, 10)
+    assert final[2] == 5  # 5 diagonal-free steps along the row
+
+
+def test_interception_is_at_target_position():
+    field = _uniform_field(30, 30)
+    # Target walks right along row 5 one cell per step.
+    traj = np.array([[5, c] for c in range(2, 28)])
+    planner = MovingTargetPlanner(field, traj, epsilon=1.0)
+    result = planner.plan((25, 2))
+    assert result.found
+    r, c, t = result.path[-1]
+    assert (r, c) == tuple(traj[t])
+
+
+def test_path_respects_time_steps():
+    field = _uniform_field()
+    traj = np.array([[10, 10 + min(i, 8)] for i in range(20)])
+    planner = MovingTargetPlanner(field, traj)
+    result = planner.plan((2, 2))
+    assert result.found
+    times = [t for _, _, t in result.path]
+    assert times == list(range(len(times)))  # one step per tick
+
+
+def test_cost_terrain_shapes_route():
+    """The planner pays less crossing cheap terrain than expensive."""
+    rows, cols = 15, 15
+    cost = np.ones((rows, cols))
+    cost[5:10, :] = 50.0  # expensive band the robot should minimize time in
+    field = CostField(cost=cost, obstacles=np.zeros((rows, cols), dtype=bool))
+    traj = np.tile([14, 7], (40, 1))
+    planner = MovingTargetPlanner(field, traj, epsilon=1.0)
+    result = planner.plan((0, 7))
+    assert result.found
+    # Optimal play crosses the band by the shortest (vertical) route:
+    # exactly 5 cells of the band.
+    band_entries = sum(1 for r, c, _ in result.path if 5 <= r < 10)
+    assert band_entries == 5
+
+
+def test_unreachable_target():
+    field = _uniform_field()
+    field.obstacles[:, 10] = True  # full wall
+    traj = np.tile([10, 15], (20, 1))
+    planner = MovingTargetPlanner(field, traj)
+    result = planner.plan((10, 2))
+    assert not result.found
+
+
+def test_heuristic_precompute_is_separately_profiled():
+    field = synthetic_costmap(rows=32, cols=32, seed=0)
+    traj = target_trajectory(field, 50, seed=0)
+    prof = PhaseProfiler()
+    planner = MovingTargetPlanner(field, traj, profiler=prof)
+    planner.precompute_heuristic()
+    assert "heuristic_precompute" in prof.stats
+    rng = np.random.default_rng(1)
+    start = free_start_far_from(field, tuple(traj[0]), rng)
+    result = planner.plan(start)
+    assert result.found
+    assert "search" in prof.stats
+
+
+def test_free_start_far_from_is_free_and_far():
+    field = synthetic_costmap(rows=40, cols=40, seed=1)
+    rng = np.random.default_rng(0)
+    start = free_start_far_from(field, (5, 5), rng)
+    assert not field.obstacles[start]
+    assert abs(start[0] - 5) + abs(start[1] - 5) > 20
+
+
+def test_kernel_end_to_end_small():
+    result = MovingTargetKernel().run(
+        MovtarConfig(rows=40, cols=40, horizon=96)
+    )
+    assert result.output.found

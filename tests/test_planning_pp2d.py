@@ -1,0 +1,123 @@
+"""Tests for 2D path planning (04.pp2d)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.envs.mapgen import city_like, comparison_map
+from repro.geometry.collision import footprint_points
+from repro.geometry.grid2d import OccupancyGrid2D
+from repro.harness.profiler import PhaseProfiler
+from repro.planning.pp2d import (
+    GridPlanningSpace2D,
+    Pp2dConfig,
+    Pp2dKernel,
+    far_apart_free_cells,
+    plan_2d,
+)
+
+
+@pytest.fixture
+def open_grid():
+    grid = OccupancyGrid2D.empty(30, 30)
+    grid.fill_border(1)
+    return grid
+
+
+def test_plan_on_open_grid_is_near_straight(open_grid):
+    result = plan_2d(open_grid, (5, 5), (25, 25),
+                     robot_length=1.0, robot_width=1.0)
+    assert result.found
+    # Diagonal distance is 20 * sqrt(2) ~ 28.3.
+    assert result.cost == pytest.approx(20 * math.sqrt(2), rel=0.1)
+
+
+def test_path_endpoints_and_adjacency(open_grid):
+    result = plan_2d(open_grid, (5, 5), (20, 10),
+                     robot_length=1.0, robot_width=1.0)
+    assert result.path[0] == (5, 5)
+    assert result.path[-1] == (20, 10)
+    for (r0, c0), (r1, c1) in zip(result.path[:-1], result.path[1:]):
+        assert max(abs(r1 - r0), abs(c1 - c0)) == 1
+
+
+def test_footprint_keeps_clearance():
+    """A wide robot must not squeeze through a 1-cell gap."""
+    grid = OccupancyGrid2D.empty(21, 21)
+    grid.fill_border(1)
+    grid.fill_rect(1, 10, 9, 10)
+    grid.fill_rect(11, 10, 19, 10)  # wall with a 1-cell slit at row 10
+    narrow = plan_2d(grid, (10, 3), (10, 17),
+                     robot_length=0.8, robot_width=0.8)
+    assert narrow.found  # a small robot fits through the slit
+    wide = plan_2d(grid, (10, 3), (10, 17),
+                   robot_length=4.0, robot_width=3.0)
+    assert not wide.found  # the car cannot
+
+
+def test_unreachable_goal(open_grid):
+    open_grid.fill_rect(10, 0, 12, 29)  # full wall
+    result = plan_2d(open_grid, (5, 5), (25, 25),
+                     robot_length=1.0, robot_width=1.0)
+    assert not result.found
+
+
+def test_collision_phase_dominates_profiling():
+    grid = city_like(rows=96, cols=96, seed=0)
+    prof = PhaseProfiler()
+    rng = np.random.default_rng(0)
+    clearance = footprint_points(5.0, 5.0, 1.0)
+    start, goal = far_apart_free_cells(grid, rng, clearance)
+    result = plan_2d(grid, start, goal, profiler=prof)
+    assert result.found
+    assert prof.fraction("collision") > 0.5
+    assert prof.counters["collision_cell_checks"] > 0
+
+
+def test_heuristic_is_admissible_on_found_path(open_grid):
+    space = GridPlanningSpace2D(open_grid, (25, 25), 1.0, 1.0)
+    result = plan_2d(open_grid, (5, 5), (25, 25),
+                     robot_length=1.0, robot_width=1.0)
+    assert space.heuristic((5, 5)) <= result.cost + 1e-9
+
+
+def test_weighted_plan_is_bounded_suboptimal():
+    grid = comparison_map()
+    optimal = plan_2d(grid, (10, 10), (50, 50),
+                      robot_length=1.0, robot_width=1.0, epsilon=1.0)
+    fast = plan_2d(grid, (10, 10), (50, 50),
+                   robot_length=1.0, robot_width=1.0, epsilon=2.0)
+    assert fast.found and optimal.found
+    assert fast.cost <= 2.0 * optimal.cost + 1e-9
+    assert fast.expansions <= optimal.expansions
+
+
+def test_far_apart_free_cells_are_far():
+    grid = city_like(rows=128, cols=128, seed=1)
+    rng = np.random.default_rng(0)
+    start, goal = far_apart_free_cells(grid, rng)
+    assert not grid.cells[start]
+    assert not grid.cells[goal]
+    assert abs(start[0] - goal[0]) + abs(start[1] - goal[1]) > 100
+
+
+def test_kernel_end_to_end_small():
+    result = Pp2dKernel().run(Pp2dConfig(rows=96, cols=96))
+    assert result.output.found
+    assert result.output.cost > 0
+    assert result.profiler.fraction("collision") > 0.5
+
+
+def test_kernel_accepts_movingai_map_file(tmp_path):
+    """A real MovingAI map drops in for the procedural city (paper's
+    Boston_1_1024 methodology)."""
+    from repro.envs.movingai import save_movingai
+
+    grid = city_like(rows=96, cols=96, seed=3)
+    map_path = tmp_path / "boston_small.map"
+    save_movingai(grid, map_path)
+    result = Pp2dKernel().run(Pp2dConfig(map_file=str(map_path), seed=3))
+    assert result.output.found
+    reference = Pp2dKernel().run(Pp2dConfig(rows=96, cols=96, seed=3))
+    assert result.output.cost == pytest.approx(reference.output.cost)

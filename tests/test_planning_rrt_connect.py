@@ -1,0 +1,113 @@
+"""Tests for the RRT-Connect extension kernel."""
+
+import numpy as np
+import pytest
+
+from repro.envs.arm_maps import default_arm, map_c, map_f
+from repro.harness.profiler import PhaseProfiler
+from repro.planning.prm import distant_free_pair
+from repro.planning.rrt import make_arm_workload
+from repro.planning.rrt_connect import RRTConnect, RrtConnectKernel
+
+
+@pytest.fixture(scope="module")
+def free_setup():
+    ws = map_f()
+    arm = default_arm()
+    rng = np.random.default_rng(0)
+    start, goal = distant_free_pair(arm, ws, rng)
+    return arm, ws, start, goal
+
+
+def test_plan_free_space(free_setup):
+    arm, ws, start, goal = free_setup
+    planner = RRTConnect(arm, ws, rng=np.random.default_rng(1))
+    result = planner.plan(start, goal)
+    assert result.found
+    assert np.allclose(result.path[0], start)
+    assert np.allclose(result.path[-1], goal)
+
+
+def test_path_is_collision_free_on_map_c():
+    w = make_arm_workload(5, "map-c", seed=0)
+    planner = RRTConnect(w.arm, w.workspace, goal_threshold=0.8,
+                         rng=np.random.default_rng(0), max_samples=4000)
+    result = planner.plan(w.start, w.goal)
+    assert result.found
+    for a, b in zip(result.path[:-1], result.path[1:]):
+        assert not w.workspace.edge_collides(w.arm, a, b, step=0.05)
+
+
+def test_path_continuity(free_setup):
+    """Consecutive waypoints never jump more than the connect threshold."""
+    arm, ws, start, goal = free_setup
+    planner = RRTConnect(arm, ws, epsilon=0.4, goal_threshold=0.8,
+                         rng=np.random.default_rng(2))
+    result = planner.plan(start, goal)
+    assert result.found
+    steps = [
+        float(np.linalg.norm(b - a))
+        for a, b in zip(result.path[:-1], result.path[1:])
+    ]
+    assert max(steps) <= 0.8 + 1e-9
+
+
+def test_connect_beats_or_matches_rrt_samples():
+    """Bidirectional search needs no more samples on matched queries."""
+    from repro.planning.rrt import RRT
+
+    wins = 0
+    total = 0
+    for seed in range(4):
+        w = make_arm_workload(5, "map-c", seed=seed)
+        connect = RRTConnect(w.arm, w.workspace, goal_threshold=0.8,
+                             rng=np.random.default_rng(seed),
+                             max_samples=6000)
+        plain = RRT(w.arm, w.workspace, goal_threshold=0.8,
+                    rng=np.random.default_rng(seed), max_samples=6000)
+        rc = connect.plan(w.start, w.goal)
+        rp = plain.plan(w.start, w.goal)
+        if rc.found and rp.found:
+            total += 1
+            if rc.samples_drawn <= rp.samples_drawn:
+                wins += 1
+    assert total >= 2
+    assert wins >= total // 2
+
+
+def test_sample_budget_respected():
+    """A goal buried inside an obstacle exhausts the budget unconnected."""
+    ws = map_c()
+    arm = default_arm()
+    rect = ws.obstacles[0]
+    target = ((rect.xmin + rect.xmax) / 2, (rect.ymin + rect.ymax) / 2)
+    angle = np.arctan2(target[1] - ws.base[1], target[0] - ws.base[0])
+    buried = np.array([angle] + [0.0] * (arm.dof - 1))
+    assert ws.config_collides(arm, buried)
+    rng = np.random.default_rng(3)
+    from repro.planning.prm import find_free_configuration
+
+    start = find_free_configuration(arm, ws, rng)
+    planner = RRTConnect(arm, ws, max_samples=5,
+                         rng=np.random.default_rng(3))
+    result = planner.plan(start, buried)
+    assert not result.found
+    assert result.samples_drawn == 5
+
+
+def test_profiler_phases(free_setup):
+    arm, ws, start, goal = free_setup
+    prof = PhaseProfiler()
+    planner = RRTConnect(arm, ws, rng=np.random.default_rng(4),
+                         profiler=prof)
+    planner.plan(start, goal)
+    for phase in ("sampling", "nn_search", "collision", "extend"):
+        assert phase in prof.stats
+
+
+def test_kernel_end_to_end():
+    result = RrtConnectKernel().run(
+        RrtConnectKernel.config_cls(seed=0, samples=6000)
+    )
+    assert result.output.found
+    assert result.kernel == "17.rrtconnect"

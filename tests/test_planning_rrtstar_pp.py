@@ -1,0 +1,162 @@
+"""Tests for RRT* (09.rrtstar) and RRT post-processing (10.rrtpp)."""
+
+import numpy as np
+import pytest
+
+from repro.envs.arm_maps import default_arm, map_c, map_f
+from repro.geometry.distance import path_length
+from repro.harness.profiler import PhaseProfiler
+from repro.planning.prm import distant_free_pair
+from repro.planning.rrt import RRT, make_arm_workload
+from repro.planning.rrt_postprocess import (
+    RrtPpConfig,
+    RrtPpKernel,
+    shortcut_path,
+)
+from repro.planning.rrt_star import RRTStar, RrtStarConfig, RrtStarKernel
+
+
+@pytest.fixture(scope="module")
+def free_setup():
+    ws = map_f()
+    arm = default_arm()
+    rng = np.random.default_rng(0)
+    start, goal = distant_free_pair(arm, ws, rng)
+    return arm, ws, start, goal
+
+
+def test_rrtstar_validation(free_setup):
+    arm, ws, _, _ = free_setup
+    with pytest.raises(ValueError):
+        RRTStar(arm, ws, gamma=0.0)
+
+
+def test_rrtstar_finds_path(free_setup):
+    arm, ws, start, goal = free_setup
+    planner = RRTStar(arm, ws, max_samples=600,
+                      rng=np.random.default_rng(1))
+    result = planner.plan(start, goal)
+    assert result.found
+    assert np.allclose(result.path[0], start)
+    assert np.allclose(result.path[-1], goal)
+
+
+def test_rrtstar_path_cost_beats_rrt_in_free_space(free_setup):
+    """With matched budgets, RRT* paths are shorter (paper: ~1.6x)."""
+    arm, ws, start, goal = free_setup
+    rrt_costs, star_costs = [], []
+    for seed in range(3):
+        rrt = RRT(arm, ws, rng=np.random.default_rng(seed))
+        star = RRTStar(arm, ws, max_samples=800,
+                       rng=np.random.default_rng(seed))
+        r1 = rrt.plan(start, goal)
+        r2 = star.plan(start, goal)
+        if r1.found and r2.found:
+            rrt_costs.append(r1.cost)
+            star_costs.append(r2.cost)
+    assert rrt_costs, "no matched successes"
+    assert np.mean(star_costs) < np.mean(rrt_costs)
+
+
+def test_rrtstar_cost_near_straight_line_in_free_space(free_setup):
+    arm, ws, start, goal = free_setup
+    planner = RRTStar(arm, ws, max_samples=1000,
+                      rng=np.random.default_rng(2))
+    result = planner.plan(start, goal)
+    assert result.found
+    straight = float(np.linalg.norm(np.asarray(goal) - np.asarray(start)))
+    assert result.cost < straight * 1.5
+
+
+def test_rrtstar_tree_costs_consistent(free_setup):
+    """Rewiring must keep every node's cost equal to its path length."""
+    arm, ws, start, goal = free_setup
+    planner = RRTStar(arm, ws, max_samples=300,
+                      rng=np.random.default_rng(3))
+    # Plan and inspect the internal tree through a custom subclass hook.
+    result = planner.plan(start, goal)
+    assert result.found
+    # The returned cost equals the actual polyline length.
+    assert result.cost == pytest.approx(
+        path_length(np.vstack(result.path)), rel=1e-9
+    )
+
+
+def test_rrtstar_profiles_rewires(free_setup):
+    arm, ws, start, goal = free_setup
+    prof = PhaseProfiler()
+    planner = RRTStar(arm, ws, max_samples=400,
+                      rng=np.random.default_rng(4), profiler=prof)
+    planner.plan(start, goal)
+    assert "nn_search" in prof.stats
+    assert prof.counters.get("rrtstar_rewires", 0) > 0
+
+
+# -- shortcutting -----------------------------------------------------------------
+
+
+def test_shortcut_never_lengthens(free_setup):
+    arm, ws, start, goal = free_setup
+    planner = RRT(arm, ws, rng=np.random.default_rng(5))
+    result = planner.plan(start, goal)
+    assert result.found
+    improved = shortcut_path(arm, ws, result.path, iterations=100,
+                             rng=np.random.default_rng(0))
+    assert path_length(np.vstack(improved)) <= result.cost + 1e-9
+
+
+def test_shortcut_preserves_endpoints_and_validity():
+    w = make_arm_workload(5, "map-c", seed=2)
+    planner = RRT(w.arm, w.workspace, goal_threshold=0.8,
+                  rng=np.random.default_rng(0), max_samples=4000)
+    result = planner.plan(w.start, w.goal)
+    assert result.found
+    improved = shortcut_path(w.arm, w.workspace, result.path,
+                             iterations=150, rng=np.random.default_rng(1))
+    assert np.allclose(improved[0], w.start)
+    assert np.allclose(improved[-1], w.goal)
+    for a, b in zip(improved[:-1], improved[1:]):
+        assert not w.workspace.edge_collides(w.arm, a, b, step=0.05)
+
+
+def test_shortcut_two_point_path_is_unchanged(free_setup):
+    arm, ws, start, goal = free_setup
+    path = [np.asarray(start), np.asarray(goal)]
+    out = shortcut_path(arm, ws, path, iterations=10)
+    assert len(out) == 2
+
+
+def test_shortcut_profiles_collision(free_setup):
+    arm, ws, start, goal = free_setup
+    prof = PhaseProfiler()
+    mid = 0.5 * (np.asarray(start) + np.asarray(goal)) + 0.3
+    shortcut_path(arm, ws, [start, mid, goal], iterations=20,
+                  profiler=prof, rng=np.random.default_rng(0))
+    assert "shortcut" in prof.stats
+    assert "collision" in prof.stats
+
+
+# -- kernels -----------------------------------------------------------------------
+
+
+def test_rrtpp_kernel_cost_not_worse_than_rrt():
+    from repro.planning.rrt import RrtKernel
+
+    seed = 2
+    rrt = RrtKernel().run(RrtConfig_like(seed))
+    rrtpp = RrtPpKernel().run(RrtPpConfig(seed=seed))
+    if rrt.output.found and rrtpp.output.found:
+        assert rrtpp.output.cost <= rrt.output.cost + 1e-9
+
+
+def RrtConfig_like(seed):
+    from repro.planning.rrt import RrtConfig
+
+    return RrtConfig(seed=seed)
+
+
+def test_rrtstar_kernel_small_budget():
+    result = RrtStarKernel().run(
+        RrtStarConfig(seed=1, star_samples=1500, map="map-f")
+    )
+    assert result.output.found

@@ -1,0 +1,160 @@
+"""Tests for A* and Weighted A*, including optimality property tests."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.harness.profiler import PhaseProfiler
+from repro.search.astar import astar, weighted_astar
+from repro.search.dijkstra import dijkstra
+
+
+class GraphSpace:
+    """Explicit adjacency-list search space for testing."""
+
+    def __init__(self, edges, goal, heuristic=None):
+        self.edges = edges
+        self.goal = goal
+        self._h = heuristic or (lambda s: 0.0)
+
+    def successors(self, state):
+        return self.edges.get(state, [])
+
+    def heuristic(self, state):
+        return self._h(state)
+
+    def is_goal(self, state):
+        return state == self.goal
+
+
+DIAMOND = {
+    "s": [("a", 1.0), ("b", 4.0)],
+    "a": [("g", 5.0)],
+    "b": [("g", 1.0)],
+}
+
+
+def test_astar_finds_optimal_path():
+    result = astar(GraphSpace(DIAMOND, "g"), "s")
+    assert result.found
+    assert result.path == ["s", "b", "g"]
+    assert result.cost == pytest.approx(5.0)
+
+
+def test_astar_unreachable_goal():
+    result = astar(GraphSpace({"s": []}, "g"), "s")
+    assert not result.found
+    assert not result  # __bool__
+
+
+def test_astar_start_is_goal():
+    result = astar(GraphSpace({}, "s"), "s")
+    assert result.found
+    assert result.path == ["s"]
+    assert result.cost == 0.0
+
+
+def test_astar_max_expansions_caps_search():
+    chain = {i: [(i + 1, 1.0)] for i in range(100)}
+    result = astar(GraphSpace(chain, 100), 0, max_expansions=5)
+    assert not result.found
+    assert result.expansions <= 6
+
+
+def test_weighted_astar_epsilon_below_one_raises():
+    with pytest.raises(ValueError):
+        weighted_astar(GraphSpace(DIAMOND, "g"), "s", epsilon=0.5)
+
+
+def test_weighted_astar_cost_bound():
+    """WA* cost is within epsilon of optimal (Pohl's bound)."""
+    rng = np.random.default_rng(3)
+    n = 40
+    points = rng.random((n, 2)) * 10
+    edges = {i: [] for i in range(n)}
+    for i in range(n):
+        dists = np.linalg.norm(points - points[i], axis=1)
+        for j in np.argsort(dists)[1:5]:
+            edges[i].append((int(j), float(dists[j])))
+
+    def h(state):
+        return float(np.linalg.norm(points[state] - points[n - 1]))
+
+    space = GraphSpace(edges, n - 1, heuristic=h)
+    optimal = astar(space, 0)
+    assert optimal.found
+    for epsilon in (1.5, 2.0, 5.0):
+        res = weighted_astar(space, 0, epsilon=epsilon)
+        assert res.found
+        assert res.cost <= optimal.cost * epsilon + 1e-9
+
+
+def test_weighted_astar_expands_no_more_than_astar_here():
+    rng = np.random.default_rng(5)
+    n = 60
+    points = rng.random((n, 2)) * 10
+    edges = {i: [] for i in range(n)}
+    for i in range(n):
+        dists = np.linalg.norm(points - points[i], axis=1)
+        for j in np.argsort(dists)[1:5]:
+            edges[i].append((int(j), float(dists[j])))
+
+    def h(state):
+        return float(np.linalg.norm(points[state] - points[n - 1]))
+
+    space = GraphSpace(edges, n - 1, heuristic=h)
+    plain = astar(space, 0)
+    inflated = weighted_astar(space, 0, epsilon=3.0)
+    assert plain.found and inflated.found
+    assert inflated.expansions <= plain.expansions
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 10_000))
+def test_astar_matches_dijkstra_on_random_graphs(seed):
+    """Property: A* with zero heuristic equals Dijkstra's distances."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(2, 25))
+    edges = {i: [] for i in range(n)}
+    for _ in range(n * 3):
+        a = int(rng.integers(n))
+        b = int(rng.integers(n))
+        if a != b:
+            edges[a].append((b, float(rng.uniform(0.1, 5.0))))
+    goal = n - 1
+    space = GraphSpace(edges, goal)
+    result = astar(space, 0)
+    distances = dijkstra(space, 0)
+    if goal in distances:
+        assert result.found
+        assert result.cost == pytest.approx(distances[goal])
+    else:
+        assert not result.found
+
+
+def test_astar_path_edges_exist_and_sum_to_cost():
+    rng = np.random.default_rng(11)
+    n = 30
+    edges = {i: [] for i in range(n)}
+    for _ in range(120):
+        a, b = int(rng.integers(n)), int(rng.integers(n))
+        if a != b:
+            edges[a].append((b, float(rng.uniform(0.5, 2.0))))
+    space = GraphSpace(edges, n - 1)
+    result = astar(space, 0)
+    if result.found:
+        total = 0.0
+        for a, b in zip(result.path[:-1], result.path[1:]):
+            costs = [c for succ, c in edges[a] if succ == b]
+            assert costs, f"edge {a}->{b} not in graph"
+            total += min(costs)
+        assert result.cost <= total + 1e-9
+
+
+def test_astar_records_phases():
+    prof = PhaseProfiler()
+    astar(GraphSpace(DIAMOND, "g"), "s", profiler=prof)
+    assert "search" in prof.stats
+    assert prof.counters["astar_expansions"] >= 1

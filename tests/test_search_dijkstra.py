@@ -1,0 +1,146 @@
+"""Tests for Dijkstra and the backward-Dijkstra heuristic tables."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.search.dijkstra import (
+    backward_dijkstra_grid,
+    dijkstra,
+    shortest_grid_path,
+)
+
+
+class _Chain:
+    def __init__(self, n):
+        self.n = n
+
+    def successors(self, state):
+        if state + 1 < self.n:
+            yield state + 1, 2.0
+
+    def heuristic(self, state):
+        return 0.0
+
+    def is_goal(self, state):
+        return False
+
+
+def test_dijkstra_chain_costs():
+    dist = dijkstra(_Chain(5), 0)
+    assert dist == {0: 0.0, 1: 2.0, 2: 4.0, 3: 6.0, 4: 8.0}
+
+
+def test_dijkstra_max_expansions():
+    dist = dijkstra(_Chain(100), 0, max_expansions=3)
+    assert len(dist) <= 5
+
+
+def test_backward_dijkstra_uniform_grid_is_chebyshev_like():
+    cost = np.ones((10, 10))
+    table = backward_dijkstra_grid(cost, [(0, 0)])
+    # Diagonal moves cost sqrt(2): distance to (3, 4) is 3*sqrt2 + 1.
+    assert table[3, 4] == pytest.approx(3 * math.sqrt(2) + 1)
+    assert table[0, 0] == 0.0
+
+
+def test_backward_dijkstra_multiple_goals_takes_nearest():
+    cost = np.ones((5, 9))
+    table = backward_dijkstra_grid(cost, [(2, 0), (2, 8)])
+    assert table[2, 1] == pytest.approx(1.0)
+    assert table[2, 7] == pytest.approx(1.0)
+    assert table[2, 4] == pytest.approx(4.0)
+
+
+def test_backward_dijkstra_blocks_obstacles():
+    cost = np.ones((3, 5))
+    obstacles = np.zeros((3, 5), dtype=bool)
+    obstacles[:, 2] = True  # full wall
+    table = backward_dijkstra_grid(cost, [(1, 0)], obstacles)
+    assert np.isinf(table[1, 4])
+    assert np.isinf(table[0, 2])
+
+
+def test_backward_dijkstra_cost_terrain_detours():
+    """Expensive cells are avoided when a cheap detour exists."""
+    cost = np.ones((5, 5))
+    cost[2, 1:4] = 100.0  # expensive band
+    table = backward_dijkstra_grid(cost, [(0, 2)])
+    direct_through_band = 100.0  # any path through row 2's band pays >= 100
+    assert table[4, 2] < direct_through_band
+
+
+def test_backward_dijkstra_goal_out_of_bounds_raises():
+    with pytest.raises(ValueError):
+        backward_dijkstra_grid(np.ones((3, 3)), [(5, 5)])
+
+
+def test_backward_dijkstra_blocked_goal_gives_all_inf():
+    obstacles = np.zeros((3, 3), dtype=bool)
+    obstacles[1, 1] = True
+    table = backward_dijkstra_grid(np.ones((3, 3)), [(1, 1)], obstacles)
+    assert np.isinf(table).all()
+
+
+def test_backward_dijkstra_is_admissible_heuristic():
+    """Property: the table is a valid lower bound along 8-connected paths."""
+    rng = np.random.default_rng(0)
+    cost = rng.uniform(1.0, 3.0, size=(12, 12))
+    obstacles = rng.random((12, 12)) < 0.15
+    goal = (6, 6)
+    obstacles[goal] = False
+    table = backward_dijkstra_grid(cost, [goal], obstacles)
+    # Consistency: h(u) <= step_cost(u, v) + h(v) for all free neighbors.
+    for r in range(12):
+        for c in range(12):
+            if obstacles[r, c] or not np.isfinite(table[r, c]):
+                continue
+            for dr in (-1, 0, 1):
+                for dc in (-1, 0, 1):
+                    if dr == dc == 0:
+                        continue
+                    nr, nc = r + dr, c + dc
+                    if not (0 <= nr < 12 and 0 <= nc < 12):
+                        continue
+                    if obstacles[nr, nc]:
+                        continue
+                    step = math.hypot(dr, dc) * cost[r, c]
+                    assert table[r, c] <= step + table[nr, nc] + 1e-9
+
+
+def test_shortest_grid_path_simple():
+    blocked = np.zeros((5, 5), dtype=bool)
+    path = shortest_grid_path(blocked, (0, 0), (4, 4))
+    assert path[0] == (0, 0)
+    assert path[-1] == (4, 4)
+    assert len(path) == 5  # pure diagonal
+
+
+def test_shortest_grid_path_routes_around_wall():
+    blocked = np.zeros((5, 5), dtype=bool)
+    blocked[2, :4] = True
+    path = shortest_grid_path(blocked, (0, 0), (4, 0))
+    assert path
+    assert all(not blocked[r, c] for r, c in path)
+
+
+def test_shortest_grid_path_no_route():
+    blocked = np.zeros((5, 5), dtype=bool)
+    blocked[2, :] = True
+    assert shortest_grid_path(blocked, (0, 0), (4, 0)) == []
+
+
+def test_shortest_grid_path_blocked_endpoint():
+    blocked = np.zeros((3, 3), dtype=bool)
+    blocked[0, 0] = True
+    assert shortest_grid_path(blocked, (0, 0), (2, 2)) == []
+    assert shortest_grid_path(blocked, (2, 2), (0, 0)) == []
+
+
+def test_shortest_grid_path_steps_are_adjacent():
+    blocked = np.zeros((8, 8), dtype=bool)
+    blocked[3:6, 3:6] = True
+    path = shortest_grid_path(blocked, (0, 0), (7, 7))
+    for (r0, c0), (r1, c1) in zip(path[:-1], path[1:]):
+        assert max(abs(r1 - r0), abs(c1 - c0)) == 1

@@ -1,0 +1,101 @@
+"""Tests for the priority queue (including a hypothesis heap-order test)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.search.queues import PriorityQueue
+
+
+def test_push_pop_order():
+    q = PriorityQueue()
+    q.push("b", 2.0)
+    q.push("a", 1.0)
+    q.push("c", 3.0)
+    assert q.pop() == ("a", 1.0)
+    assert q.pop() == ("b", 2.0)
+    assert q.pop() == ("c", 3.0)
+
+
+def test_pop_empty_raises():
+    with pytest.raises(IndexError):
+        PriorityQueue().pop()
+
+
+def test_peek_does_not_remove():
+    q = PriorityQueue()
+    q.push("x", 5.0)
+    assert q.peek() == ("x", 5.0)
+    assert len(q) == 1
+
+
+def test_peek_empty_raises():
+    with pytest.raises(IndexError):
+        PriorityQueue().peek()
+
+
+def test_decrease_key_updates_priority():
+    q = PriorityQueue()
+    q.push("a", 10.0)
+    q.push("b", 5.0)
+    q.push("a", 1.0)  # decrease
+    assert len(q) == 2
+    assert q.pop() == ("a", 1.0)
+
+
+def test_increase_key_also_updates():
+    q = PriorityQueue()
+    q.push("a", 1.0)
+    q.push("a", 10.0)
+    q.push("b", 5.0)
+    assert q.pop() == ("b", 5.0)
+    assert q.pop() == ("a", 10.0)
+
+
+def test_contains_and_priority_of():
+    q = PriorityQueue()
+    q.push("a", 2.0)
+    assert "a" in q
+    assert q.priority_of("a") == 2.0
+    assert q.priority_of("missing") is None
+    q.pop()
+    assert "a" not in q
+
+
+def test_fifo_tiebreak_for_equal_priorities():
+    q = PriorityQueue()
+    q.push("first", 1.0)
+    q.push("second", 1.0)
+    assert q.pop()[0] == "first"
+
+
+def test_bool_and_len():
+    q = PriorityQueue()
+    assert not q
+    q.push(1, 0.0)
+    assert q
+    assert len(q) == 1
+
+
+def test_push_pop_counters():
+    q = PriorityQueue()
+    q.push("a", 1.0)
+    q.push("a", 0.5)
+    q.pop()
+    assert q.pushes == 2
+    assert q.pops == 1
+
+
+@given(st.lists(st.tuples(st.integers(0, 50), st.floats(-100, 100,
+                                                        allow_nan=False)),
+                min_size=1, max_size=100))
+def test_pops_come_out_sorted(items):
+    """After arbitrary pushes (with updates), pops are non-decreasing."""
+    q = PriorityQueue()
+    for key, priority in items:
+        q.push(key, priority)
+    out = []
+    while q:
+        out.append(q.pop()[1])
+    assert out == sorted(out)
+    # Each key appears exactly once (updates collapse).
+    assert len(out) == len({k for k, _ in items})

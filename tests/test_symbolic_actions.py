@@ -1,0 +1,118 @@
+"""Tests for action schemas, grounding, and static pruning."""
+
+import pytest
+
+from repro.planning.symbolic.actions import (
+    ActionSchema,
+    GroundAction,
+    ground_schemas,
+    static_atoms,
+)
+
+MOVE = ActionSchema(
+    name="Move",
+    parameters=["b", "x", "y"],
+    preconditions=["On(?b,?x)", "Clear(?b)", "Clear(?y)"],
+    effects=["On(?b,?y)", "Clear(?x)", "!On(?b,?x)", "!Clear(?y)"],
+)
+
+
+def test_schema_undeclared_variable_raises():
+    with pytest.raises(ValueError, match="undeclared"):
+        ActionSchema(
+            name="Bad",
+            parameters=["b"],
+            preconditions=["On(?b,?x)"],
+            effects=[],
+        )
+
+
+def test_ground_substitutes_everything():
+    action = MOVE.ground({"b": "A", "x": "B", "y": "C"})
+    assert action.name == "Move(A,B,C)"
+    assert "On(A,B)" in action.preconditions
+    assert "On(A,C)" in action.add_effects
+    assert "On(A,B)" in action.delete_effects
+
+
+def test_ground_all_distinct_parameters():
+    actions = list(MOVE.ground_all(["A", "B", "C"]))
+    # 3 objects, 3 distinct slots -> 3! groundings.
+    assert len(actions) == 6
+    names = {a.name for a in actions}
+    assert "Move(A,B,C)" in names
+    assert "Move(A,A,B)" not in names
+
+
+def test_ground_all_nondistinct():
+    schema = ActionSchema(
+        name="Dup",
+        parameters=["x", "y"],
+        preconditions=[],
+        effects=["P(?x,?y)"],
+        distinct=False,
+    )
+    actions = list(schema.ground_all(["A", "B"]))
+    assert len(actions) == 4
+
+
+def test_parameterless_schema_grounds_once():
+    schema = ActionSchema(
+        name="Noop", parameters=[], preconditions=["P"], effects=["Q"]
+    )
+    actions = list(schema.ground_all(["A", "B"]))
+    assert len(actions) == 1
+    assert actions[0].name == "Noop"
+
+
+def test_applicable_and_apply():
+    action = MOVE.ground({"b": "A", "x": "B", "y": "C"})
+    state = frozenset({"On(A,B)", "Clear(A)", "Clear(C)"})
+    assert action.applicable(state)
+    succ = action.apply(state)
+    assert "On(A,C)" in succ
+    assert "On(A,B)" not in succ
+    assert "Clear(B)" in succ
+    assert "Clear(C)" not in succ
+
+
+def test_not_applicable_when_precondition_missing():
+    action = MOVE.ground({"b": "A", "x": "B", "y": "C"})
+    assert not action.applicable(frozenset({"On(A,B)", "Clear(A)"}))
+
+
+def test_negative_preconditions():
+    schema = ActionSchema(
+        name="Sneak",
+        parameters=["x"],
+        preconditions=["At(?x)", "!Seen(?x)"],
+        effects=["Done(?x)"],
+    )
+    action = schema.ground({"x": "A"})
+    assert action.applicable(frozenset({"At(A)"}))
+    assert not action.applicable(frozenset({"At(A)", "Seen(A)"}))
+
+
+def test_static_atoms_detection():
+    schemas = [MOVE]
+    initial = frozenset({"Block(A)", "On(A,B)", "Clear(A)"})
+    statics = static_atoms(schemas, initial)
+    assert "Block(A)" in statics
+    assert "On(A,B)" not in statics  # Move changes On
+    assert "Clear(A)" not in statics  # Move changes Clear
+
+
+def test_ground_schemas_prunes_impossible_instances():
+    typed_move = ActionSchema(
+        name="Move",
+        parameters=["b", "x", "y"],
+        preconditions=["Block(?b)", "On(?b,?x)", "Clear(?b)", "Clear(?y)"],
+        effects=["On(?b,?y)", "Clear(?x)", "!On(?b,?x)", "!Clear(?y)"],
+    )
+    initial = frozenset({"Block(A)", "Block(B)", "On(A,B)", "Clear(A)"})
+    actions = ground_schemas([typed_move], ["A", "B", "Table"], initial)
+    # No grounding may move the Table (Block(Table) is false).
+    assert all(not a.name.startswith("Move(Table") for a in actions)
+    # Static preconditions are stripped from survivors.
+    for action in actions:
+        assert not any(p.startswith("Block(") for p in action.preconditions)

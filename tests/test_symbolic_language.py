@@ -1,0 +1,66 @@
+"""Tests for the symbolic atom language."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.planning.symbolic.language import (
+    atom,
+    parse_atom,
+    substitute,
+    variables_in,
+)
+
+names = st.text(
+    alphabet="ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz",
+    min_size=1,
+    max_size=8,
+)
+
+
+def test_atom_formatting():
+    assert atom("On", "A", "B") == "On(A,B)"
+    assert atom("HandEmpty") == "HandEmpty"
+
+
+def test_atom_empty_predicate_raises():
+    with pytest.raises(ValueError):
+        atom("")
+
+
+def test_parse_atom_basic():
+    assert parse_atom("On(A,B)") == ("On", ["A", "B"])
+    assert parse_atom("HandEmpty") == ("HandEmpty", [])
+    assert parse_atom("  At( Q , W ) ") == ("At", ["Q", "W"])
+
+
+def test_parse_malformed_raises():
+    with pytest.raises(ValueError):
+        parse_atom("On(A,B")
+
+
+@given(names, st.lists(names, min_size=0, max_size=4))
+def test_atom_parse_round_trip(predicate, args):
+    text = atom(predicate, *args)
+    parsed_pred, parsed_args = parse_atom(text)
+    assert parsed_pred == predicate
+    assert parsed_args == list(args)
+
+
+def test_substitute_simple():
+    assert substitute("On(?b,?x)", {"b": "A", "x": "Table"}) == "On(A,Table)"
+
+
+def test_substitute_longest_variable_first():
+    out = substitute("Near(?block,?b)", {"b": "X", "block": "LONG"})
+    assert out == "Near(LONG,X)"
+
+
+def test_substitute_unbound_raises():
+    with pytest.raises(ValueError, match="unbound"):
+        substitute("On(?b,?x)", {"b": "A"})
+
+
+def test_variables_in():
+    assert variables_in("Move(?b,?x,?y)") == ["b", "x", "y"]
+    assert variables_in("On(A,B)") == []
+    assert variables_in("On(?b,?b)") == ["b"]  # deduplicated

@@ -1,0 +1,106 @@
+"""Tests for the textual symbolic problem parser (paper Fig. 13 style)."""
+
+import pytest
+
+from repro.planning.symbolic.parser import (
+    _mark_variables,
+    _split_atoms,
+    parse_problem_text,
+)
+from repro.planning.symbolic.planner import SymbolicPlanner, execute_plan
+
+BLOCKS_TEXT = """
+Symbols: A, B, C, Table
+Initial conditions: On(A, B), On(B, C), On(C, Table), Clear(A),
+    Block(A), Block(B), Block(C)
+Goal conditions: On(C, B), On(B, A), On(A, Table)
+Actions:
+  Move(b, x, y)
+    Preconditions: Block(b), Block(x), Block(y), On(b, x), Clear(b), Clear(y)
+    Effects: On(b, y), Clear(x), !On(b, x), !Clear(y)
+  MoveToTable(b, x)
+    Preconditions: Block(b), Block(x), On(b, x), Clear(b)
+    Effects: On(b, Table), Clear(x), !On(b, x)
+  MoveFromTable(b, y)
+    Preconditions: Block(b), Block(y), On(b, Table), Clear(b), Clear(y)
+    Effects: On(b, y), !On(b, Table), !Clear(y)
+"""
+
+
+def test_split_atoms_respects_parentheses():
+    assert _split_atoms("On(A, B), Clear(C)") == ["On(A,B)", "Clear(C)"]
+    assert _split_atoms("Solo") == ["Solo"]
+    assert _split_atoms("On(A, B), ...") == ["On(A,B)"]
+
+
+def test_split_atoms_unbalanced_raises():
+    with pytest.raises(ValueError):
+        _split_atoms("On(A, B")
+
+
+def test_mark_variables():
+    assert _mark_variables("On(b, x)".replace(" ", ""), ["b", "x"]) == "On(?b,?x)"
+    assert _mark_variables("On(b,Table)", ["b"]) == "On(?b,Table)"
+    assert _mark_variables("!Clear(y)", ["y"]) == "!Clear(?y)"
+    assert _mark_variables("HandEmpty", ["x"]) == "HandEmpty"
+
+
+def test_parse_blocks_world_and_solve():
+    problem = parse_problem_text(BLOCKS_TEXT)
+    # Static Block(...) atoms pruned from the dynamic state.
+    assert not any(a.startswith("Block(") for a in problem.initial_state)
+    assert "On(A,B)" in problem.initial_state
+    result = SymbolicPlanner(problem).plan()
+    assert result.found
+    final = execute_plan(problem, result.plan)
+    assert problem.goal <= final
+
+
+def test_parsed_matches_programmatic_domain():
+    """The text domain solves in the same optimal plan length (3 blocks
+    reversed -> 3 moves)."""
+    problem = parse_problem_text(BLOCKS_TEXT)
+    result = SymbolicPlanner(problem).plan()
+    assert len(result.plan) == 3
+
+
+def test_parse_requires_symbols_and_goal():
+    with pytest.raises(ValueError, match="no symbols"):
+        parse_problem_text("Goal conditions: X\nInitial conditions: Y")
+    with pytest.raises(ValueError, match="no goal"):
+        parse_problem_text("Symbols: A\nInitial conditions: P(A)")
+
+
+def test_parse_rejects_orphan_clause():
+    text = (
+        "Symbols: A\nGoal conditions: P(A)\nActions:\n"
+        "  Preconditions: P(A)\n"
+    )
+    with pytest.raises(ValueError, match="before any action"):
+        parse_problem_text(text)
+
+
+def test_parse_rejects_stray_content():
+    with pytest.raises(ValueError, match="outside any section"):
+        parse_problem_text("hello world\nSymbols: A\nGoal conditions: P(A)")
+
+
+def test_multiline_sections_accumulate():
+    problem = parse_problem_text(BLOCKS_TEXT)
+    assert "Clear(A)" in problem.initial_state  # from the wrapped line
+
+
+def test_parameterless_action():
+    text = """
+Symbols: F
+Initial conditions: Wet(F)
+Goal conditions: Dry(F)
+Actions:
+  Evaporate()
+    Preconditions: Wet(F)
+    Effects: Dry(F), !Wet(F)
+"""
+    problem = parse_problem_text(text)
+    result = SymbolicPlanner(problem).plan()
+    assert result.found
+    assert result.plan == ["Evaporate"]

@@ -1,0 +1,117 @@
+"""Tests for the symbolic planner and both paper domains."""
+
+import pytest
+
+from repro.harness.profiler import PhaseProfiler
+from repro.planning.symbolic.domains import blocks_world, firefighter
+from repro.planning.symbolic.planner import (
+    SymbolicPlanner,
+    SymbolicProblem,
+    execute_plan,
+)
+
+
+def test_blocks_world_plan_is_valid():
+    problem = blocks_world(n_blocks=3)
+    result = SymbolicPlanner(problem).plan()
+    assert result.found
+    final = execute_plan(problem, result.plan)
+    assert problem.goal <= final
+
+
+def test_blocks_world_reverse_optimal_length():
+    """Reversing an n-stack needs exactly n moves.
+
+    Unstack the top block to the table, then restack each freed block
+    onto the growing reversed pile: one move per block.
+    """
+    for n in (2, 3, 4, 5):
+        problem = blocks_world(n_blocks=n)
+        result = SymbolicPlanner(problem).plan()
+        assert result.found
+        assert len(result.plan) == n, f"n={n}: {result.plan}"
+
+
+def test_blocks_world_spread_goal():
+    problem = blocks_world(n_blocks=4, goal="spread")
+    result = SymbolicPlanner(problem).plan()
+    assert result.found
+    # Unstacking 4 blocks (3 above the base) takes 3 moves.
+    assert len(result.plan) == 3
+
+
+def test_blocks_world_validation():
+    with pytest.raises(ValueError):
+        blocks_world(n_blocks=1)
+    with pytest.raises(ValueError):
+        blocks_world(goal="impossible-preset")
+
+
+def test_firefighter_plan_reaches_ext_three():
+    problem = firefighter()
+    result = SymbolicPlanner(problem).plan()
+    assert result.found
+    final = execute_plan(problem, result.plan)
+    assert "ExtThree(F)" in final
+
+
+def test_firefighter_plan_pours_three_times():
+    problem = firefighter()
+    result = SymbolicPlanner(problem).plan()
+    pours = [a for a in result.plan if a.startswith("PourWater")]
+    assert len(pours) == 3
+    fills = [a for a in result.plan if a.startswith("FillWater")]
+    assert len(fills) == 3  # tank starts empty, each pour drains it
+
+
+def test_firefighter_branching_exceeds_blocks_world():
+    """E11: the firefighter domain has ~3x the branching (paper: ~3.2x)."""
+    blkw = SymbolicPlanner(blocks_world(n_blocks=5)).plan()
+    fext = SymbolicPlanner(firefighter()).plan()
+    assert fext.mean_branching > 2.0 * blkw.mean_branching
+
+
+def test_unsolvable_problem_reports_not_found():
+    problem = blocks_world(n_blocks=3)
+    impossible = SymbolicProblem(
+        initial_state=problem.initial_state,
+        goal=frozenset({"On(A,Mars)"}),
+        actions=problem.actions,
+    )
+    result = SymbolicPlanner(impossible).plan()
+    assert not result.found
+    assert result.expansions > 0
+
+
+def test_execute_plan_rejects_bogus_steps():
+    problem = blocks_world(n_blocks=3)
+    with pytest.raises(KeyError):
+        execute_plan(problem, ["Teleport(A)"])
+    # An action that exists but is inapplicable in the initial state.
+    inapplicable = next(
+        a.name for a in problem.actions
+        if not a.applicable(problem.initial_state)
+    )
+    with pytest.raises(ValueError, match="not applicable"):
+        execute_plan(problem, [inapplicable])
+
+
+def test_planner_profiles_string_ops():
+    prof = PhaseProfiler()
+    SymbolicPlanner(blocks_world(n_blocks=4), profiler=prof).plan()
+    assert "string_ops" in prof.stats
+    assert "search" in prof.stats
+    assert prof.counters.get("applicability_checks", 0) > 0
+
+
+def test_goal_count_heuristic_prunes_search():
+    problem = blocks_world(n_blocks=5)
+    informed = SymbolicPlanner(problem, epsilon=1.0).plan()
+    greedy = SymbolicPlanner(problem, epsilon=3.0).plan()
+    assert informed.found and greedy.found
+    assert greedy.expansions <= informed.expansions
+
+
+def test_firefighter_validation():
+    with pytest.raises(ValueError):
+        firefighter(n_locations=1)

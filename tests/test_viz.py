@@ -1,0 +1,69 @@
+"""Tests for the ASCII visualization helpers."""
+
+import numpy as np
+import pytest
+
+from repro.envs.arm_maps import default_arm, map_c
+from repro.geometry.grid2d import OccupancyGrid2D
+from repro.viz import render_curve, render_grid, render_workspace
+
+
+def test_render_grid_symbols(small_grid):
+    text = render_grid(small_grid)
+    assert "#" in text  # border + block
+    assert "." in text  # free space
+    lines = text.splitlines()
+    assert len(lines) == small_grid.rows
+    assert all(len(line) == small_grid.cols for line in lines)
+
+
+def test_render_grid_path_and_markers(small_grid):
+    path = [(2, c) for c in range(2, 10)]
+    text = render_grid(small_grid, path=path, markers={(2, 2): "S"})
+    assert "*" in text
+    assert "S" in text
+
+
+def test_render_grid_downsamples():
+    grid = OccupancyGrid2D.empty(400, 500)
+    grid.fill_border(1)
+    text = render_grid(grid, max_width=80, max_height=30)
+    lines = text.splitlines()
+    assert len(lines) <= 30
+    assert max(len(line) for line in lines) <= 80
+    assert "#" in text
+
+
+def test_render_grid_is_top_down(small_grid):
+    """Row 0 (bottom of world frame) renders as the LAST text line."""
+    grid = OccupancyGrid2D.empty(5, 5)
+    grid.set_occupied(0, 0)
+    lines = render_grid(grid).splitlines()
+    assert lines[-1][0] == "#"
+    assert lines[0][0] == "."
+
+
+def test_render_curve_bounds_and_shape():
+    text = render_curve([0.0, 0.5, 1.0, 0.25], label="reward")
+    assert "reward" in text
+    assert "[0 .. 1]" in text
+    assert "o" in text
+
+
+def test_render_curve_constant_series():
+    text = render_curve([2.0, 2.0, 2.0])
+    assert "o" in text
+
+
+def test_render_curve_empty():
+    assert "empty" in render_curve([])
+
+
+def test_render_workspace_draws_obstacles_arm_and_base():
+    ws = map_c()
+    arm = default_arm()
+    q = np.zeros(arm.dof)
+    text = render_workspace(ws, arm, [q])
+    assert "#" in text  # obstacles
+    assert "B" in text  # base
+    assert "0" in text  # the configuration's links
