@@ -104,6 +104,11 @@ def main() -> None:
     scales = [1, 2] if quick else [1, 2, 4, 8]
     print(render_fig21(run_fig21(scales=scales, educational_max_scale=2)))
 
+    banner("B1 - hot-path backends: reference vs vectorized speedups")
+    from repro.harness.bench import render_report, run_bench
+
+    print(render_report(run_bench(smoke=quick)))
+
     print(f"\nTotal report time: {time.time() - t_start:.0f}s")
 
 

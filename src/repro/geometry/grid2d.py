@@ -129,9 +129,14 @@ class OccupancyGrid2D:
         inside = (
             (rows >= 0) & (rows < self.rows) & (cols >= 0) & (cols < self.cols)
         )
-        result = np.ones(rows.shape, dtype=bool)
-        result[inside] = self.cells[rows[inside], cols[inside]]
-        return result
+        # Flat clipped gather + bounds mask instead of boolean fancy
+        # indexing: one contiguous take over the whole batch (out-of-bounds
+        # indices clip to some valid cell, then the mask forces them
+        # occupied), which is what keeps the batched collision checks fast.
+        occupied = np.take(
+            self.cells.ravel(), rows * self.cols + cols, mode="clip"
+        )
+        return occupied | ~inside
 
     def set_occupied(self, row: int, col: int, value: bool = True) -> None:
         """Set the occupancy of one in-bounds cell."""

@@ -10,6 +10,7 @@ defaults.
     rtrbench run pp2d --inputset dense-city
     rtrbench inputsets pp2d
     rtrbench characterize
+    rtrbench bench [--smoke]
 """
 
 from __future__ import annotations
@@ -100,6 +101,54 @@ def _cmd_characterize(argv: List[str]) -> int:
     return 0 if all(r.matches_paper for r in rows) else 1
 
 
+def _cmd_bench(argv: List[str]) -> int:
+    import argparse
+
+    from repro.harness.bench import (
+        check_floors,
+        render_report,
+        run_bench,
+        write_report,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="rtrbench bench",
+        description=(
+            "Benchmark the reference vs vectorized hot-path backends and "
+            "assert per-phase speedup floors."
+        ),
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small workloads, no floor enforcement (CI sanity run)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=7, help="workload seed (default: 7)"
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_hotpaths.json",
+        help="report path (default: BENCH_hotpaths.json)",
+    )
+    parser.add_argument(
+        "--no-check",
+        action="store_true",
+        help="write the report without enforcing speedup floors",
+    )
+    args = parser.parse_args(argv)
+    results = run_bench(smoke=args.smoke, seed=args.seed)
+    write_report(results, args.output)
+    print(render_report(results))
+    print(f"report written to {args.output}")
+    if args.smoke or args.no_check:
+        return 0
+    failures = check_floors(results)
+    for failure in failures:
+        print(f"FLOOR VIOLATION {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI dispatcher; returns a process exit code."""
     argv = list(sys.argv[1:] if argv is None else argv)
@@ -115,6 +164,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_inputsets(rest)
     if command == "characterize":
         return _cmd_characterize(rest)
+    if command == "bench":
+        return _cmd_bench(rest)
     print(f"error: unknown command {command!r}", file=sys.stderr)
     return 2
 

@@ -36,6 +36,11 @@ class KernelConfig:
 
     seed: int = option(0, "Random number generation seed")
     output: Optional[str] = option(None, "Output file for kernel results")
+    backend: str = option(
+        "reference",
+        "Hot-path execution backend: 'reference' (scalar/loop code) or "
+        "'vectorized' (batched numpy)",
+    )
 
     def replace(self: C, **changes: Any) -> C:
         """Return a copy of this config with ``changes`` applied."""

@@ -120,8 +120,19 @@ class PhaseProfiler:
         }
 
     def fraction(self, name: str) -> float:
-        """Share of total instrumented time spent in phase ``name``."""
-        return self.fractions().get(name, 0.0)
+        """Share of total instrumented time spent in phase ``name``.
+
+        A phase that never ran — including on a profiler with no phases at
+        all — contributes 0.0 rather than raising, so report code can ask
+        about phases a backend or configuration happened to skip.
+        """
+        st = self.stats.get(name)
+        if st is None:
+            return 0.0
+        total = self.total_time()
+        if total <= 0.0:
+            return 0.0
+        return st.exclusive_time / total
 
     def dominant_phase(self) -> Optional[str]:
         """Name of the phase with the largest exclusive time, if any."""

@@ -22,7 +22,7 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.geometry.kdtree import KDTree
+from repro.geometry.kdtree import KDTree, nearest_neighbors_batch
 from repro.geometry.transforms import RigidTransform3D
 from repro.harness.profiler import PhaseProfiler
 
@@ -139,6 +139,7 @@ def icp(
     profiler: Optional[PhaseProfiler] = None,
     correspondence: str = "kdtree",
     metric: str = "point_to_point",
+    backend: str = "reference",
 ) -> ICPResult:
     """Register ``source`` onto ``target`` (both ``(n, 3)`` arrays).
 
@@ -155,9 +156,17 @@ def icp(
     ``metric`` selects the alignment step: ``"point_to_point"`` (Kabsch)
     or ``"point_to_plane"`` (linearized solve against target normals,
     estimated once per call).
+
+    ``backend="vectorized"`` routes correspondence search through
+    :func:`~repro.geometry.kdtree.nearest_neighbors_batch` (one matmul
+    per chunk of queries) regardless of ``correspondence``; its argmin
+    arithmetic matches the ``"brute"`` matcher exactly, so correspondence
+    indices are identical and the registration trajectory is unchanged.
     """
     if correspondence not in ("kdtree", "brute"):
         raise ValueError("correspondence must be 'kdtree' or 'brute'")
+    if backend not in ("reference", "vectorized"):
+        raise ValueError("backend must be 'reference' or 'vectorized'")
     if metric not in ("point_to_point", "point_to_plane"):
         raise ValueError(
             "metric must be 'point_to_point' or 'point_to_plane'"
@@ -171,7 +180,11 @@ def icp(
         raise ValueError("target must be (n, 3)")
 
     with prof.phase("correspondence"):
-        tree = KDTree.build(target) if correspondence == "kdtree" else None
+        tree = (
+            KDTree.build(target)
+            if correspondence == "kdtree" and backend == "reference"
+            else None
+        )
         target_normals = (
             estimate_normals(target) if metric == "point_to_plane" else None
         )
@@ -186,7 +199,12 @@ def icp(
     for iterations in range(1, max_iterations + 1):
         with prof.phase("correspondence"):
             matched_idx = np.empty(len(current), dtype=int)
-            if tree is not None:
+            if backend == "vectorized":
+                matched_idx, distances = nearest_neighbors_batch(
+                    target, current, count=prof.count
+                )
+                matched_target = target[matched_idx]
+            elif tree is not None:
                 matched_target = np.empty_like(current)
                 distances = np.empty(len(current))
                 for i, point in enumerate(current):

@@ -60,9 +60,12 @@ class ParticleFilter:
         alpha_fast: float = 0.5,
         rng: Optional[np.random.Generator] = None,
         profiler: Optional[PhaseProfiler] = None,
+        backend: str = "reference",
     ) -> None:
         if n_particles < 1:
             raise ValueError("need at least one particle")
+        if backend not in ("reference", "vectorized"):
+            raise ValueError("backend must be 'reference' or 'vectorized'")
         if not 0.0 <= ess_threshold <= 1.0:
             raise ValueError("ess_threshold must be in [0, 1]")
         if likelihood_power <= 0.0:
@@ -77,6 +80,7 @@ class ParticleFilter:
         self.likelihood_power = float(likelihood_power)
         self.alpha_slow = float(alpha_slow)
         self.alpha_fast = float(alpha_fast)
+        self.backend = backend
         self.w_slow = 0.0
         self.w_fast = 0.0
         self.rng = rng if rng is not None else np.random.default_rng(0)
@@ -119,7 +123,7 @@ class ParticleFilter:
             )
         with prof.phase("raycast"):
             expected = self.lidar.expected_ranges_batch(
-                self.grid, self.poses, count=prof.count
+                self.grid, self.poses, count=prof.count, backend=self.backend
             )
         with prof.phase("weight"):
             log_w = self._log_likelihood(expected, scan)
@@ -356,6 +360,7 @@ class PflKernel(Kernel):
             hit_sigma=config.hit_sigma,
             rng=np.random.default_rng(config.seed),
             profiler=profiler,
+            backend=config.backend,
         )
         pf.initialize_uniform()
         spread_before = pf.spread()

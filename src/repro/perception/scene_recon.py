@@ -39,12 +39,14 @@ class SceneReconstruction:
         icp_iterations: int = 20,
         icp_subsample: int = 1500,
         profiler: Optional[PhaseProfiler] = None,
+        backend: str = "reference",
     ) -> None:
         if fusion_voxel <= 0:
             raise ValueError("fusion_voxel must be positive")
         self.fusion_voxel = float(fusion_voxel)
         self.icp_iterations = int(icp_iterations)
         self.icp_subsample = int(icp_subsample)
+        self.backend = backend
         self.profiler = profiler if profiler is not None else PhaseProfiler()
         self._voxels: Dict[Tuple[int, int, int], np.ndarray] = {}
         self.poses: List[RigidTransform3D] = []
@@ -94,6 +96,7 @@ class SceneReconstruction:
             initial=initial,
             profiler=prof,
             correspondence="brute",
+            backend=self.backend,
         )
         pose = result.transform
         with prof.phase("fusion"):
@@ -185,7 +188,9 @@ class SrecKernel(Kernel):
         self, config: SrecConfig, state: SrecWorkload, profiler: PhaseProfiler
     ) -> dict:
         recon = SceneReconstruction(
-            icp_iterations=config.icp_iterations, profiler=profiler
+            icp_iterations=config.icp_iterations,
+            profiler=profiler,
+            backend=config.backend,
         )
         pose_errors = []
         for scan in state.scans:

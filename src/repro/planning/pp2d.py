@@ -16,7 +16,11 @@ from typing import Iterable, List, Optional, Tuple
 import numpy as np
 
 from repro.envs.mapgen import city_like
-from repro.geometry.collision import footprint_points, oriented_footprint_collides
+from repro.geometry.collision import (
+    footprint_points,
+    oriented_footprint_collides,
+    oriented_footprints_collide_batch,
+)
 from repro.geometry.grid2d import OccupancyGrid2D
 from repro.harness.config import KernelConfig, option
 from repro.harness.profiler import PhaseProfiler
@@ -44,7 +48,10 @@ class GridPlanningSpace2D:
         robot_width: float = 1.8,
         profiler: Optional[PhaseProfiler] = None,
         footprint_resolution: Optional[float] = None,
+        backend: str = "reference",
     ) -> None:
+        if backend not in ("reference", "vectorized"):
+            raise ValueError("backend must be 'reference' or 'vectorized'")
         self.grid = grid
         self.goal = goal
         self.profiler = profiler if profiler is not None else PhaseProfiler()
@@ -55,6 +62,7 @@ class GridPlanningSpace2D:
         )
         self.body_points = footprint_points(robot_length, robot_width, res)
         self.collision_checks = 0
+        self.backend = backend
 
     def state_collides(self, row: int, col: int, theta: float) -> bool:
         """Footprint collision at a cell with a given heading."""
@@ -70,6 +78,9 @@ class GridPlanningSpace2D:
         self, state: Tuple[int, int]
     ) -> Iterable[Tuple[Tuple[int, int], float]]:
         """8-connected moves whose destination footprint is clear."""
+        if self.backend == "vectorized":
+            yield from self._successors_vectorized(state)
+            return
         row, col = state
         for dr, dc in _MOVES:
             nr, nc = row + dr, col + dc
@@ -80,6 +91,37 @@ class GridPlanningSpace2D:
                 continue
             step = math.hypot(dr, dc) * self.grid.resolution
             yield (nr, nc), step
+
+    def _successors_vectorized(
+        self, state: Tuple[int, int]
+    ) -> Iterable[Tuple[Tuple[int, int], float]]:
+        """One batched footprint check for all in-bounds moves at once."""
+        row, col = state
+        moves = [
+            (row + dr, col + dc, math.atan2(dr, dc), math.hypot(dr, dc))
+            for dr, dc in _MOVES
+            if self.grid.in_bounds(row + dr, col + dc)
+        ]
+        if not moves:
+            return
+        res = self.grid.resolution
+        ox, oy = self.grid.origin
+        nrs = np.array([m[0] for m in moves])
+        ncs = np.array([m[1] for m in moves])
+        thetas = np.array([m[2] for m in moves])
+        self.collision_checks += len(moves)
+        with self.profiler.phase("collision"):
+            collides = oriented_footprints_collide_batch(
+                self.grid,
+                ox + (ncs + 0.5) * res,
+                oy + (nrs + 0.5) * res,
+                thetas,
+                self.body_points,
+                count=self.profiler.count,
+            )
+        for (nr, nc, _, length), hit in zip(moves, collides):
+            if not hit:
+                yield (nr, nc), length * res
 
     def heuristic(self, state: Tuple[int, int]) -> float:
         """Euclidean distance to the goal, in meters (admissible)."""
@@ -101,10 +143,12 @@ def plan_2d(
     epsilon: float = 1.0,
     profiler: Optional[PhaseProfiler] = None,
     max_expansions: Optional[int] = None,
+    backend: str = "reference",
 ) -> SearchResult:
     """Plan a collision-free 2D route; thin wrapper over Weighted A*."""
     space = GridPlanningSpace2D(
-        grid, goal, robot_length, robot_width, profiler=profiler
+        grid, goal, robot_length, robot_width, profiler=profiler,
+        backend=backend,
     )
     return weighted_astar(
         space, start, epsilon=epsilon, profiler=space.profiler,
@@ -215,4 +259,5 @@ class Pp2dKernel(Kernel):
             robot_width=config.car_width,
             epsilon=config.epsilon,
             profiler=profiler,
+            backend=config.backend,
         )

@@ -28,6 +28,8 @@ _MOVES_3D: Tuple[Tuple[int, int, int], ...] = tuple(
     for dx in (-1, 0, 1)
     if (dz, dy, dx) != (0, 0, 0)
 )
+_MOVES_3D_ARR = np.array(_MOVES_3D)
+_MOVE_LENGTHS_3D = np.sqrt((_MOVES_3D_ARR**2).sum(axis=1))
 
 
 class GridPlanningSpace3D:
@@ -38,10 +40,14 @@ class GridPlanningSpace3D:
         grid: OccupancyGrid3D,
         goal: Tuple[int, int, int],
         profiler: Optional[PhaseProfiler] = None,
+        backend: str = "reference",
     ) -> None:
+        if backend not in ("reference", "vectorized"):
+            raise ValueError("backend must be 'reference' or 'vectorized'")
         self.grid = grid
         self.goal = goal
         self.profiler = profiler if profiler is not None else PhaseProfiler()
+        self.backend = backend
 
     def successors(
         self, state: Tuple[int, int, int]
@@ -53,14 +59,27 @@ class GridPlanningSpace3D:
         # One collision phase per expansion: check all 26 neighbors.
         with prof.phase("collision"):
             prof.count("collision_cell_checks", len(_MOVES_3D))
-            valid = [
-                (dz, dy, dx)
-                for dz, dy, dx in _MOVES_3D
-                if not grid.is_occupied(z + dz, y + dy, x + dx)
-            ]
-        for dz, dy, dx in valid:
-            step = math.sqrt(dz * dz + dy * dy + dx * dx) * grid.resolution
-            yield (z + dz, y + dy, x + dx), step
+            if self.backend == "vectorized":
+                occupied = grid.occupied_batch(
+                    z + _MOVES_3D_ARR[:, 0],
+                    y + _MOVES_3D_ARR[:, 1],
+                    x + _MOVES_3D_ARR[:, 2],
+                )
+                valid = [
+                    (move, length)
+                    for move, length, occ in zip(
+                        _MOVES_3D, _MOVE_LENGTHS_3D, occupied
+                    )
+                    if not occ
+                ]
+            else:
+                valid = [
+                    ((dz, dy, dx), math.sqrt(dz * dz + dy * dy + dx * dx))
+                    for dz, dy, dx in _MOVES_3D
+                    if not grid.is_occupied(z + dz, y + dy, x + dx)
+                ]
+        for (dz, dy, dx), length in valid:
+            yield (z + dz, y + dy, x + dx), float(length) * grid.resolution
 
     def heuristic(self, state: Tuple[int, int, int]) -> float:
         """Euclidean distance to the goal voxel, in meters."""
@@ -81,9 +100,10 @@ def plan_3d(
     epsilon: float = 1.0,
     profiler: Optional[PhaseProfiler] = None,
     max_expansions: Optional[int] = None,
+    backend: str = "reference",
 ) -> SearchResult:
     """Plan a 3D route; thin wrapper over Weighted A*."""
-    space = GridPlanningSpace3D(grid, goal, profiler=profiler)
+    space = GridPlanningSpace3D(grid, goal, profiler=profiler, backend=backend)
     return weighted_astar(
         space, start, epsilon=epsilon, profiler=space.profiler,
         max_expansions=max_expansions,
@@ -156,4 +176,5 @@ class Pp3dKernel(Kernel):
             state.goal,
             epsilon=config.epsilon,
             profiler=profiler,
+            backend=config.backend,
         )

@@ -8,7 +8,7 @@ from typing import Optional
 import numpy as np
 
 from repro.geometry.grid2d import OccupancyGrid2D
-from repro.geometry.raycast import cast_rays_batch
+from repro.geometry.raycast import cast_rays_batch, cast_rays_dda_batch
 
 
 class Lidar:
@@ -49,23 +49,31 @@ class Lidar:
         y: float,
         theta: float,
         count=None,
+        backend: str = "reference",
     ) -> np.ndarray:
         """Noise-free ranges from a pose (the measurement hypothesis)."""
         angles = self.beam_angles(theta)
         xs = np.full(self.n_beams, x)
         ys = np.full(self.n_beams, y)
-        return cast_rays_batch(grid, xs, ys, angles, self.max_range, count=count)
+        caster = (
+            cast_rays_dda_batch if backend == "vectorized" else cast_rays_batch
+        )
+        return caster(grid, xs, ys, angles, self.max_range, count=count)
 
     def expected_ranges_batch(
         self,
         grid: OccupancyGrid2D,
         poses: np.ndarray,
         count=None,
+        backend: str = "reference",
     ) -> np.ndarray:
         """Ranges for every pose in an ``(n, 3)`` array: ``(n, beams)``.
 
         Flattens all particle x beam rays into one vectorized cast — this
-        is the hot loop the paper measures at 67-78% of pfl time.
+        is the hot loop the paper measures at 67-78% of pfl time.  With
+        ``backend="vectorized"`` the rays go through the skip/scan DDA
+        caster (:func:`~repro.geometry.raycast.cast_rays_dda_batch`)
+        instead of the lock-step marcher.
         """
         poses = np.asarray(poses, dtype=float)
         n = len(poses)
@@ -75,7 +83,10 @@ class Lidar:
         angles = (poses[:, 2:3] + offsets[None, :]).ravel()
         xs = np.repeat(poses[:, 0], self.n_beams)
         ys = np.repeat(poses[:, 1], self.n_beams)
-        ranges = cast_rays_batch(grid, xs, ys, angles, self.max_range, count=count)
+        caster = (
+            cast_rays_dda_batch if backend == "vectorized" else cast_rays_batch
+        )
+        ranges = caster(grid, xs, ys, angles, self.max_range, count=count)
         return ranges.reshape(n, self.n_beams)
 
     def measure(

@@ -1,0 +1,285 @@
+"""Reference vs vectorized backend equivalence.
+
+The vectorized numpy backends must be drop-in replacements for the
+reference hot paths: ray ranges within the grid resolution (the caster is
+exact, the marcher samples at half-cell steps), collision verdicts
+identical, and nearest-neighbor correspondences identical.  Each test
+sweeps seeded random workloads so the equivalence claim covers more than
+one hand-picked map.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.envs.mapgen import campus_like_3d, wean_hall_like
+from repro.geometry.collision import (
+    footprint_points,
+    oriented_footprint_collides,
+    oriented_footprints_collide_batch,
+    segment_collides_grid,
+    segments_collide_grid_batch,
+    voxel_collides,
+    voxels_collide_batch,
+)
+from repro.geometry.kdtree import KDTree, nearest_neighbors_batch
+from repro.geometry.raycast import (
+    cast_ray_dda,
+    cast_rays_batch,
+    cast_rays_dda_batch,
+)
+from repro.perception.icp import icp
+from repro.perception.particle_filter import ParticleFilter
+from repro.planning.pp2d import plan_2d
+from repro.planning.pp3d import far_apart_free_voxels, plan_3d
+from repro.sensors.lidar import Lidar
+
+
+def _random_rays(grid, n, seed):
+    rng = np.random.default_rng(seed)
+    free = np.argwhere(~grid.cells)
+    sel = free[rng.integers(0, len(free), n)]
+    res = grid.resolution
+    ox, oy = grid.origin
+    xs = (sel[:, 1] + rng.uniform(0.2, 0.8, n)) * res + ox
+    ys = (sel[:, 0] + rng.uniform(0.2, 0.8, n)) * res + oy
+    angles = rng.uniform(-np.pi, np.pi, n)
+    return xs, ys, angles
+
+
+# -- ray casting ---------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", [0, 3, 7])
+def test_raycast_ranges_within_resolution(seed):
+    grid = wean_hall_like(rows=120, cols=150, resolution=0.25, seed=seed)
+    xs, ys, angles = _random_rays(grid, 400, seed + 100)
+    ref = cast_rays_batch(grid, xs, ys, angles, 12.0)
+    vec = cast_rays_dda_batch(grid, xs, ys, angles, 12.0)
+    assert np.abs(ref - vec).max() <= grid.resolution
+
+
+def test_raycast_matches_scalar_dda_exactly():
+    grid = wean_hall_like(rows=120, cols=150, resolution=0.25, seed=5)
+    xs, ys, angles = _random_rays(grid, 300, 42)
+    vec = cast_rays_dda_batch(grid, xs, ys, angles, 12.0)
+    scalar = np.array(
+        [
+            cast_ray_dda(grid, x, y, a, 12.0)
+            for x, y, a in zip(xs, ys, angles)
+        ]
+    )
+    # Exact traversal either way; 1e-9 absorbs schedule-order float noise.
+    np.testing.assert_allclose(vec, scalar, atol=1e-9)
+
+
+def test_raycast_work_counter_reported():
+    grid = wean_hall_like(rows=120, cols=150, resolution=0.25, seed=1)
+    xs, ys, angles = _random_rays(grid, 200, 9)
+    counters = {}
+
+    def count(name, k):
+        counters[name] = counters.get(name, 0) + k
+
+    cast_rays_dda_batch(grid, xs, ys, angles, 12.0, count=count)
+    assert counters["raycast_cell_checks"] > 0
+
+
+def test_lidar_backend_dispatch():
+    grid = wean_hall_like(rows=120, cols=150, resolution=0.25, seed=2)
+    lidar = Lidar(n_beams=24, max_range=12.0)
+    rng = np.random.default_rng(3)
+    free = np.argwhere(~grid.cells)
+    sel = free[rng.integers(0, len(free), 20)]
+    poses = np.column_stack(
+        [
+            (sel[:, 1] + 0.5) * grid.resolution,
+            (sel[:, 0] + 0.5) * grid.resolution,
+            rng.uniform(-np.pi, np.pi, 20),
+        ]
+    )
+    ref = lidar.expected_ranges_batch(grid, poses, backend="reference")
+    vec = lidar.expected_ranges_batch(grid, poses, backend="vectorized")
+    assert ref.shape == vec.shape == (20, 24)
+    assert np.abs(ref - vec).max() <= grid.resolution
+
+
+def test_particle_filter_rejects_unknown_backend():
+    grid = wean_hall_like(rows=40, cols=50, resolution=0.5, seed=0)
+    from repro.sensors.odometry import OdometryModel
+
+    with pytest.raises(ValueError):
+        ParticleFilter(
+            grid, Lidar(n_beams=4), OdometryModel(), n_particles=10,
+            backend="gpu",
+        )
+
+
+# -- collision -----------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", [0, 4, 11])
+def test_footprint_batch_verdicts_identical(seed):
+    grid = wean_hall_like(rows=100, cols=120, resolution=0.25, seed=seed)
+    rng = np.random.default_rng(seed + 50)
+    n = 300
+    xs = rng.uniform(0.0, grid.width, n)
+    ys = rng.uniform(0.0, grid.height, n)
+    thetas = rng.uniform(-np.pi, np.pi, n)
+    body = footprint_points(1.2, 0.6, grid.resolution)
+    scalar = np.array(
+        [
+            oriented_footprint_collides(grid, x, y, t, body)
+            for x, y, t in zip(xs, ys, thetas)
+        ]
+    )
+    batch = oriented_footprints_collide_batch(grid, xs, ys, thetas, body)
+    assert np.array_equal(scalar, batch)
+    assert scalar.any() and not scalar.all()  # non-degenerate workload
+
+
+def test_footprint_batch_counts_match_scalar():
+    grid = wean_hall_like(rows=60, cols=60, resolution=0.5, seed=0)
+    body = footprint_points(2.0, 1.0, grid.resolution)
+    xs = np.array([5.0, 12.0, 20.0])
+    ys = np.array([5.0, 12.0, 20.0])
+    thetas = np.array([0.0, 1.0, 2.0])
+    scalar_counts = {}
+    batch_counts = {}
+    for x, y, t in zip(xs, ys, thetas):
+        oriented_footprint_collides(
+            grid, x, y, t, body,
+            count=lambda k, n: scalar_counts.__setitem__(
+                k, scalar_counts.get(k, 0) + n
+            ),
+        )
+    oriented_footprints_collide_batch(
+        grid, xs, ys, thetas, body,
+        count=lambda k, n: batch_counts.__setitem__(
+            k, batch_counts.get(k, 0) + n
+        ),
+    )
+    assert scalar_counts == batch_counts
+
+
+@pytest.mark.parametrize("seed", [1, 8])
+def test_segment_batch_verdicts_identical(seed):
+    grid = wean_hall_like(rows=100, cols=120, resolution=0.25, seed=seed)
+    rng = np.random.default_rng(seed)
+    n = 200
+    p0s = np.column_stack(
+        [rng.uniform(0, grid.width, n), rng.uniform(0, grid.height, n)]
+    )
+    p1s = p0s + rng.uniform(-6.0, 6.0, (n, 2))
+    scalar = np.array(
+        [
+            segment_collides_grid(grid, tuple(a), tuple(b))
+            for a, b in zip(p0s, p1s)
+        ]
+    )
+    batch = segments_collide_grid_batch(grid, p0s, p1s)
+    assert np.array_equal(scalar, batch)
+
+
+def test_voxel_batch_verdicts_identical():
+    grid = campus_like_3d(nx=32, ny=32, nz=10, seed=3)
+    rng = np.random.default_rng(6)
+    zis = rng.integers(-2, 12, 500)
+    yis = rng.integers(-2, 34, 500)
+    xis = rng.integers(-2, 34, 500)
+    scalar = np.array(
+        [
+            voxel_collides(grid, int(z), int(y), int(x))
+            for z, y, x in zip(zis, yis, xis)
+        ]
+    )
+    batch = voxels_collide_batch(grid, zis, yis, xis)
+    assert np.array_equal(scalar, batch)
+
+
+# -- planners end to end -------------------------------------------------------
+
+
+def test_pp2d_backends_identical_plan():
+    from repro.envs.mapgen import city_like
+    from repro.harness.profiler import PhaseProfiler
+    from repro.planning.pp2d import far_apart_free_cells
+
+    grid = city_like(rows=96, cols=96, seed=0)
+    rng = np.random.default_rng(0)
+    clearance = footprint_points(4.8, 4.8, grid.resolution)
+    start, goal = far_apart_free_cells(grid, rng, clearance)
+    prof_ref, prof_vec = PhaseProfiler(), PhaseProfiler()
+    ref = plan_2d(grid, start, goal, profiler=prof_ref)
+    vec = plan_2d(grid, start, goal, profiler=prof_vec, backend="vectorized")
+    assert ref.path == vec.path
+    assert ref.cost == pytest.approx(vec.cost)
+    assert prof_ref.counters == prof_vec.counters
+
+
+def test_pp3d_backends_identical_plan():
+    from repro.harness.profiler import PhaseProfiler
+
+    grid = campus_like_3d(nx=40, ny=40, nz=10, seed=0)
+    start, goal = far_apart_free_voxels(grid)
+    prof_ref, prof_vec = PhaseProfiler(), PhaseProfiler()
+    ref = plan_3d(grid, start, goal, profiler=prof_ref)
+    vec = plan_3d(grid, start, goal, profiler=prof_vec, backend="vectorized")
+    assert ref.path == vec.path
+    assert ref.cost == pytest.approx(vec.cost)
+    assert prof_ref.counters == prof_vec.counters
+
+
+# -- nearest neighbors / ICP ---------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", [0, 2])
+def test_nn_batch_matches_kdtree(seed):
+    rng = np.random.default_rng(seed)
+    target = rng.random((600, 3))
+    queries = rng.random((250, 3))
+    tree = KDTree.build(target)
+    idx, dist = nearest_neighbors_batch(target, queries)
+    assert np.array_equal(idx, np.argmin(
+        ((queries[:, None, :] - target[None, :, :]) ** 2).sum(axis=2), axis=1
+    ))
+    for i, q in enumerate(queries):
+        _, _, d = tree.nearest(q)
+        assert d == pytest.approx(dist[i], abs=1e-9)
+
+
+def test_icp_vectorized_identical_correspondences():
+    rng = np.random.default_rng(4)
+    target = rng.random((400, 3))
+    # A slightly rotated/translated subset as the source cloud.
+    angle = 0.05
+    rot = np.array(
+        [
+            [math.cos(angle), -math.sin(angle), 0.0],
+            [math.sin(angle), math.cos(angle), 0.0],
+            [0.0, 0.0, 1.0],
+        ]
+    )
+    source = target[:300] @ rot.T + np.array([0.02, -0.01, 0.03])
+    ref = icp(source, target, max_iterations=10, correspondence="brute")
+    vec = icp(source, target, max_iterations=10, backend="vectorized")
+    # Same argmin arithmetic -> identical correspondence trajectory.
+    assert ref.iterations == vec.iterations
+    np.testing.assert_array_equal(
+        np.asarray(ref.error_history), np.asarray(vec.error_history)
+    )
+    np.testing.assert_array_equal(
+        ref.transform.rotation, vec.transform.rotation
+    )
+    np.testing.assert_array_equal(
+        ref.transform.translation, vec.transform.translation
+    )
+
+
+def test_icp_rejects_unknown_backend():
+    pts = np.zeros((4, 3))
+    with pytest.raises(ValueError):
+        icp(pts, pts, backend="fpga")

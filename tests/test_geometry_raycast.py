@@ -95,3 +95,32 @@ def test_closer_obstacle_gives_shorter_ray():
     near = cast_ray(grid, 8.0, 1.5, 0.0, 30.0)
     far = cast_ray(grid, 2.0, 1.5, 0.0, 30.0)
     assert near < far
+
+
+def test_diagonal_ray_cannot_tunnel_through_one_cell_wall():
+    """Regression: a diagonal ray crossing a 1-cell wall exactly at a cell
+    corner must register the hit instead of slipping between samples."""
+    from repro.geometry.raycast import cast_ray_dda
+
+    grid = OccupancyGrid2D.empty(10, 10, resolution=1.0)
+    grid.fill_rect(0, 5, 5, 5)  # one-cell-thick vertical wall, rows 0-5
+    x, y, angle = 4.0, 4.98, math.pi / 4.0
+    exact = cast_ray_dda(grid, x, y, angle, 20.0)
+    sampled = cast_ray(grid, x, y, angle, 20.0)
+    # The wall face at x=5 is one diagonal unit away: t = 1/cos(pi/4).
+    assert exact == pytest.approx(math.sqrt(2.0), abs=1e-9)
+    assert sampled < 20.0  # the marcher must not tunnel through
+    assert abs(sampled - exact) <= grid.resolution
+
+
+def test_batch_marcher_does_not_tunnel_diagonally():
+    grid = OccupancyGrid2D.empty(10, 10, resolution=1.0)
+    grid.fill_rect(0, 5, 5, 5)
+    out = cast_rays_batch(
+        grid,
+        np.array([4.0, 4.0]),
+        np.array([4.98, 4.5]),
+        np.array([math.pi / 4.0, math.pi / 4.0]),
+        max_range=20.0,
+    )
+    assert (out < 20.0).all()

@@ -1,0 +1,100 @@
+"""The hot-path perf-regression harness (``rtrbench bench``)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.harness.bench import (
+    SPEEDUP_FLOORS,
+    check_floors,
+    render_report,
+    run_bench,
+    write_report,
+)
+
+PHASES = ("raycast", "collision", "nn")
+FIELDS = ("reference_s", "vectorized_s", "speedup", "ops")
+
+
+@pytest.fixture(scope="module")
+def smoke_results():
+    return run_bench(smoke=True)
+
+
+def test_schema(smoke_results):
+    assert set(smoke_results) == set(PHASES)
+    for phase in PHASES:
+        row = smoke_results[phase]
+        assert set(row) == set(FIELDS)
+        assert row["reference_s"] > 0.0
+        assert row["vectorized_s"] > 0.0
+        assert row["speedup"] == pytest.approx(
+            row["reference_s"] / row["vectorized_s"]
+        )
+        assert isinstance(row["ops"], int) and row["ops"] > 0
+
+
+def test_ops_deterministic(smoke_results):
+    again = run_bench(smoke=True)
+    for phase in PHASES:
+        assert again[phase]["ops"] == smoke_results[phase]["ops"]
+
+
+def test_report_roundtrip(smoke_results, tmp_path):
+    path = tmp_path / "BENCH_hotpaths.json"
+    write_report(smoke_results, str(path))
+    loaded = json.loads(path.read_text())
+    assert set(loaded) == set(PHASES)
+    for phase in PHASES:
+        assert loaded[phase]["ops"] == smoke_results[phase]["ops"]
+
+
+def test_render_report_lists_every_phase(smoke_results):
+    text = render_report(smoke_results)
+    for phase in PHASES:
+        assert phase in text
+
+
+def test_floor_check_passes_above_floors():
+    results = {
+        phase: {
+            "reference_s": floor * 2.0,
+            "vectorized_s": 1.0,
+            "speedup": floor * 2.0,
+            "ops": 1,
+        }
+        for phase, floor in SPEEDUP_FLOORS.items()
+    }
+    assert check_floors(results) == []
+
+
+def test_floor_check_flags_regression():
+    results = {
+        phase: {
+            "reference_s": 1.0,
+            "vectorized_s": 1.0,
+            "speedup": 1.0,
+            "ops": 1,
+        }
+        for phase in SPEEDUP_FLOORS
+    }
+    failures = check_floors(results)
+    assert len(failures) == len(SPEEDUP_FLOORS)
+    assert all("below floor" in f for f in failures)
+
+
+def test_floor_check_flags_missing_phase():
+    failures = check_floors({})
+    assert len(failures) == len(SPEEDUP_FLOORS)
+    assert all("missing" in f for f in failures)
+
+
+def test_cli_smoke(tmp_path, capsys):
+    from repro.harness.cli import main
+
+    out = tmp_path / "bench.json"
+    assert main(["bench", "--smoke", "--output", str(out)]) == 0
+    assert set(json.loads(out.read_text())) == set(PHASES)
+    assert "speedup" in capsys.readouterr().out

@@ -174,3 +174,18 @@ def test_total_time_sums_exclusive():
         with prof.phase("b"):
             clock.advance(2.0)
     assert prof.total_time() == pytest.approx(3.0)
+
+
+def test_fraction_on_profiler_that_never_ran():
+    """A fresh profiler (no phases at all) reports 0.0, not an error."""
+    prof = PhaseProfiler()
+    assert prof.fraction("raycast") == 0.0
+
+
+def test_fraction_with_zero_total_time():
+    clock = _FakeClock()
+    prof = PhaseProfiler(clock=clock)
+    with prof.phase("instant"):
+        pass  # clock never advances: total time is exactly zero
+    assert prof.fraction("instant") == 0.0
+    assert prof.fraction("other") == 0.0
