@@ -12,7 +12,12 @@ inputsets (see DESIGN.md section 2):
 * :func:`comparison_map` — the small map used by PythonRobotics'
   ``a_star.py`` demo, for the Fig. 21 library comparison.
 
-All generators are deterministic in their seed.
+All generators are deterministic in their seed, which is what lets the
+expensive ones (the floorplan, city, and campus builders) be memoized by
+content key through :mod:`repro.envs.cache`: repeated characterization /
+bench / suite runs with identical parameters reuse one build instead of
+re-carving the same map.  Callers receive a private deep copy and may
+mutate it freely; bypass the cache via ``<generator>.build_uncached``.
 """
 
 from __future__ import annotations
@@ -21,10 +26,12 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.envs.cache import cached_workload
 from repro.geometry.grid2d import OccupancyGrid2D
 from repro.geometry.grid3d import OccupancyGrid3D
 
 
+@cached_workload("wean_hall_like")
 def wean_hall_like(
     rows: int = 160,
     cols: int = 200,
@@ -97,6 +104,7 @@ def wean_hall_like(
     return grid
 
 
+@cached_workload("city_like")
 def city_like(
     rows: int = 256,
     cols: int = 256,
@@ -136,6 +144,7 @@ def city_like(
     return grid
 
 
+@cached_workload("campus_like_3d")
 def campus_like_3d(
     nx: int = 96,
     ny: int = 96,

@@ -16,6 +16,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.envs.cache import cached_workload
 from repro.geometry.transforms import RigidTransform3D, rotation_matrix_3d
 
 
@@ -64,6 +65,7 @@ def _sample_plane(
     )
 
 
+@cached_workload("living_room")
 def living_room(
     n_points: int = 12000, seed: int = 0
 ) -> np.ndarray:

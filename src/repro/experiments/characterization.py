@@ -90,7 +90,14 @@ _CONFIG_OVERRIDES: Dict[str, Dict[str, object]] = {
 
 @dataclass
 class KernelCharacterization:
-    """Measured breakdown for one kernel plus the claim verdict."""
+    """Measured breakdown for one kernel plus the claim verdict.
+
+    ``counters`` carries the profiler's architecture-independent operation
+    counts — deterministic for a given configuration, unlike the timing
+    fractions — which is what the suite's parallel-vs-serial determinism
+    check fingerprints.  ``setup_time`` is workload construction outside
+    the ROI (the part the content-keyed cache accelerates).
+    """
 
     kernel: str
     stage: str
@@ -100,6 +107,8 @@ class KernelCharacterization:
     dominant_phase: str
     roi_time: float
     matches_paper: bool
+    counters: Dict[str, int] = field(default_factory=dict)
+    setup_time: float = 0.0
 
 
 def characterize_kernel(expectation: Expectation) -> KernelCharacterization:
@@ -123,17 +132,56 @@ def characterize_kernel(expectation: Expectation) -> KernelCharacterization:
         dominant_phase=dominant,
         roi_time=result.roi_time,
         matches_paper=combined >= expectation.min_combined_share,
+        counters=dict(result.profiler.counters),
+        setup_time=result.setup_time,
     )
+
+
+def characterize_kernel_by_name(kernel: str) -> KernelCharacterization:
+    """Characterize one kernel by its paper id (worker-process entry)."""
+    expectation = next(
+        (e for e in EXPECTATIONS if e.kernel == kernel), None
+    )
+    if expectation is None:
+        raise KeyError(f"no characterization expectation for {kernel!r}")
+    return characterize_kernel(expectation)
 
 
 def run_characterization(
     kernels: Optional[Sequence[str]] = None,
+    jobs: int = 1,
+    timeout: Optional[float] = None,
 ) -> List[KernelCharacterization]:
-    """Characterize the whole suite (or a named subset)."""
+    """Characterize the whole suite (or a named subset).
+
+    ``jobs > 1`` fans the kernels out over worker processes via
+    :func:`repro.harness.parallel.map_tasks` — each kernel is seeded by
+    its own configuration, so parallel and serial runs produce identical
+    operation counters.  Any kernel failure raises with the worker's
+    traceback; callers that want failure *rows* instead (the suite)
+    dispatch per-kernel tasks themselves.
+    """
     selected = [
         e for e in EXPECTATIONS if kernels is None or e.kernel in kernels
     ]
-    return [characterize_kernel(e) for e in selected]
+    if jobs <= 1:
+        return [characterize_kernel(e) for e in selected]
+    from repro.harness.parallel import map_tasks
+
+    results = map_tasks(
+        characterize_kernel_by_name,
+        [e.kernel for e in selected],
+        jobs=jobs,
+        timeout=timeout,
+        names=[f"characterize:{e.kernel}" for e in selected],
+    )
+    failed = [r for r in results if not r.ok]
+    if failed:
+        raise RuntimeError(
+            "characterization failures:\n"
+            + "\n".join(f"{r.name}: {r.error}" for r in failed)
+        )
+    return [r.value for r in results]
 
 
 def render_characterization(

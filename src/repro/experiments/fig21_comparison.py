@@ -49,9 +49,50 @@ def _endpoints(scale: int) -> Tuple[Tuple[int, int], Tuple[int, int]]:
     return (10 * scale, 10 * scale), (50 * scale, 50 * scale)
 
 
+def run_fig21_point(
+    scale: int, educational_max_scale: int = 2
+) -> ComparisonPoint:
+    """Run one scale of the comparison sweep (worker-process entry)."""
+    base = comparison_map()
+    grid = base.scaled(scale) if scale > 1 else base
+    start, goal = _endpoints(scale)
+    t0 = time.perf_counter()
+    result = fast_grid_astar(grid, start, goal, robot_radius=0.8)
+    optimized_time = time.perf_counter() - t0
+    if not result.found:
+        raise RuntimeError(f"optimized planner failed at scale {scale}")
+    educational_time = None
+    if scale <= educational_max_scale:
+        ox, oy = grid_to_obstacle_points(grid)
+        planner = EducationalAStar(
+            ox, oy, resolution=grid.resolution, robot_radius=0.8
+        )
+        sx, sy = grid.cell_to_world(*start)
+        gx, gy = grid.cell_to_world(*goal)
+        t0 = time.perf_counter()
+        edu = planner.plan(sx, sy, gx, gy)
+        educational_time = time.perf_counter() - t0
+        if not edu.found:
+            raise RuntimeError(
+                f"educational planner failed at scale {scale}"
+            )
+    return ComparisonPoint(
+        scale=scale,
+        optimized_time=optimized_time,
+        educational_time=educational_time,
+    )
+
+
+def _fig21_task(task: Tuple[int, int]) -> ComparisonPoint:
+    """map_tasks adapter: ``(scale, educational_max_scale)`` tuple entry."""
+    scale, educational_max_scale = task
+    return run_fig21_point(scale, educational_max_scale)
+
+
 def run_fig21(
     scales: Optional[List[int]] = None,
     educational_max_scale: int = 2,
+    jobs: int = 1,
 ) -> List[ComparisonPoint]:
     """Run both planners over the scale sweep.
 
@@ -59,42 +100,32 @@ def run_fig21(
     points) and its open list is a linear scan, so runs beyond
     ``educational_max_scale`` are skipped (they would take minutes to
     hours, exactly the non-real-time behaviour the paper documents).
+
+    ``jobs > 1`` runs the scale points on worker processes — each point
+    rebuilds its map independently (cheap via the workload cache), so
+    the sweep order carries no state and points may run concurrently.
     """
     if scales is None:
         scales = [1, 2, 4, 8]
-    base = comparison_map()
-    points = []
-    for scale in scales:
-        grid = base.scaled(scale) if scale > 1 else base
-        start, goal = _endpoints(scale)
-        t0 = time.perf_counter()
-        result = fast_grid_astar(grid, start, goal, robot_radius=0.8)
-        optimized_time = time.perf_counter() - t0
-        if not result.found:
-            raise RuntimeError(f"optimized planner failed at scale {scale}")
-        educational_time = None
-        if scale <= educational_max_scale:
-            ox, oy = grid_to_obstacle_points(grid)
-            planner = EducationalAStar(
-                ox, oy, resolution=grid.resolution, robot_radius=0.8
-            )
-            sx, sy = grid.cell_to_world(*start)
-            gx, gy = grid.cell_to_world(*goal)
-            t0 = time.perf_counter()
-            edu = planner.plan(sx, sy, gx, gy)
-            educational_time = time.perf_counter() - t0
-            if not edu.found:
-                raise RuntimeError(
-                    f"educational planner failed at scale {scale}"
-                )
-        points.append(
-            ComparisonPoint(
-                scale=scale,
-                optimized_time=optimized_time,
-                educational_time=educational_time,
-            )
+    if jobs <= 1:
+        return [
+            run_fig21_point(scale, educational_max_scale) for scale in scales
+        ]
+    from repro.harness.parallel import map_tasks
+
+    results = map_tasks(
+        _fig21_task,
+        [(scale, educational_max_scale) for scale in scales],
+        jobs=jobs,
+        names=[f"fig21:x{scale}" for scale in scales],
+    )
+    failed = [r for r in results if not r.ok]
+    if failed:
+        raise RuntimeError(
+            "fig21 sweep failures:\n"
+            + "\n".join(f"{r.name}: {r.error}" for r in failed)
         )
-    return points
+    return [r.value for r in results]
 
 
 def render_fig21(points: List[ComparisonPoint]) -> str:

@@ -22,6 +22,7 @@ from repro.experiments.figures_planning import (
     run_rrt_family,
     run_symbolic_branching,
 )
+from repro.harness.suite import run_suite
 
 EXPERIMENTS: Dict[str, Callable[..., Any]] = {
     "T1": run_characterization,
@@ -36,6 +37,10 @@ EXPERIMENTS: Dict[str, Callable[..., Any]] = {
     "F19": run_fig19_bo,
     "E16": run_bo_vs_cem,
     "F21": run_fig21,
+    # The end-to-end suite run (characterization + bench + F21 sweep) on
+    # the parallel executor; not a single paper figure but the harness
+    # that regenerates them all in one dispatch.
+    "SUITE": run_suite,
 }
 
 

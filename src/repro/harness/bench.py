@@ -24,6 +24,7 @@ machine.
 
 from __future__ import annotations
 
+import gc
 import json
 import time
 from typing import Callable, Dict, List
@@ -56,21 +57,40 @@ def _interleaved_min(
     vectorized: Callable[[], object],
     repeats: int,
 ) -> tuple:
-    """Min wall-clock of each callable over alternating repeats.
+    """Min wall and CPU clock of each callable over alternating repeats.
 
     Alternation exposes both backends to the same machine-load episodes;
     the minimum discards the repeats that lost the CPU to other work.
+    The garbage collector is paused across the timed sections so a cycle
+    collection landing inside one backend's window cannot skew the
+    comparison; ``process_time`` is recorded alongside ``perf_counter``
+    so wall-vs-CPU divergence (scheduler pressure, denormal stalls) is
+    visible in the report.
+
+    Returns ``(ref_wall, vec_wall, ref_cpu, vec_cpu)`` minima in seconds.
     """
     ref_times: List[float] = []
     vec_times: List[float] = []
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        reference()
-        ref_times.append(time.perf_counter() - t0)
-        t0 = time.perf_counter()
-        vectorized()
-        vec_times.append(time.perf_counter() - t0)
-    return min(ref_times), min(vec_times)
+    ref_cpu: List[float] = []
+    vec_cpu: List[float] = []
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(repeats):
+            c0 = time.process_time()
+            t0 = time.perf_counter()
+            reference()
+            ref_times.append(time.perf_counter() - t0)
+            ref_cpu.append(time.process_time() - c0)
+            c0 = time.process_time()
+            t0 = time.perf_counter()
+            vectorized()
+            vec_times.append(time.perf_counter() - t0)
+            vec_cpu.append(time.process_time() - c0)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return min(ref_times), min(vec_times), min(ref_cpu), min(vec_cpu)
 
 
 # -- workloads -----------------------------------------------------------------
@@ -119,7 +139,7 @@ def bench_raycast(smoke: bool = False, seed: int = 7) -> Dict[str, float]:
         raise AssertionError(
             f"raycast backends disagree by {worst:.6f} m (> {res} m)"
         )
-    ref_s, vec_s = _interleaved_min(
+    ref_s, vec_s, ref_cpu, vec_cpu = _interleaved_min(
         lambda: cast_rays_batch(grid, xs, ys, angles, max_range),
         lambda: cast_rays_dda_batch(grid, xs, ys, angles, max_range),
         repeats,
@@ -127,6 +147,8 @@ def bench_raycast(smoke: bool = False, seed: int = 7) -> Dict[str, float]:
     return {
         "reference_s": ref_s,
         "vectorized_s": vec_s,
+        "reference_cpu_s": ref_cpu,
+        "vectorized_cpu_s": vec_cpu,
         "speedup": ref_s / vec_s,
         "ops": ops_box["n"],
     }
@@ -165,10 +187,14 @@ def bench_collision(smoke: bool = False, seed: int = 7) -> Dict[str, float]:
 
     if not np.array_equal(reference(), vectorized()):
         raise AssertionError("collision backends return different verdicts")
-    ref_s, vec_s = _interleaved_min(reference, vectorized, repeats)
+    ref_s, vec_s, ref_cpu, vec_cpu = _interleaved_min(
+        reference, vectorized, repeats
+    )
     return {
         "reference_s": ref_s,
         "vectorized_s": vec_s,
+        "reference_cpu_s": ref_cpu,
+        "vectorized_cpu_s": vec_cpu,
         "speedup": ref_s / vec_s,
         "ops": n_poses * len(body),
     }
@@ -200,10 +226,14 @@ def bench_nn(smoke: bool = False, seed: int = 7) -> Dict[str, float]:
 
     if not np.allclose(reference(), vectorized(), atol=1e-9):
         raise AssertionError("nn backends return different distances")
-    ref_s, vec_s = _interleaved_min(reference, vectorized, repeats)
+    ref_s, vec_s, ref_cpu, vec_cpu = _interleaved_min(
+        reference, vectorized, repeats
+    )
     return {
         "reference_s": ref_s,
         "vectorized_s": vec_s,
+        "reference_cpu_s": ref_cpu,
+        "vectorized_cpu_s": vec_cpu,
         "speedup": ref_s / vec_s,
         "ops": n_target * n_query,
     }
@@ -211,14 +241,53 @@ def bench_nn(smoke: bool = False, seed: int = 7) -> Dict[str, float]:
 
 # -- driver --------------------------------------------------------------------
 
+#: phase name -> benchmark callable, in report order.
+BENCH_PHASES: Dict[str, Callable[..., Dict[str, float]]] = {
+    "raycast": bench_raycast,
+    "collision": bench_collision,
+    "nn": bench_nn,
+}
 
-def run_bench(smoke: bool = False, seed: int = 7) -> Dict[str, Dict[str, float]]:
-    """Run all hot-path benchmarks; returns ``phase -> metrics``."""
-    return {
-        "raycast": bench_raycast(smoke=smoke, seed=seed),
-        "collision": bench_collision(smoke=smoke, seed=seed),
-        "nn": bench_nn(smoke=smoke, seed=seed),
-    }
+
+def _bench_task(task: tuple) -> Dict[str, float]:
+    """Worker entry: run one named bench phase (module-level, fork-safe)."""
+    phase, smoke, seed = task
+    return BENCH_PHASES[phase](smoke=smoke, seed=seed)
+
+
+def run_bench(
+    smoke: bool = False, seed: int = 7, jobs: int = 1
+) -> Dict[str, Dict[str, float]]:
+    """Run all hot-path benchmarks; returns ``phase -> metrics``.
+
+    ``jobs > 1`` dispatches the phases over worker processes via
+    :func:`repro.harness.parallel.map_tasks`.  Per-phase timings from a
+    parallel run share the machine with sibling phases and are noisier
+    than a serial run's; the suite report records them as such, while
+    floor enforcement (``check_floors``) is intended for serial runs.
+    A phase that fails raises, as in serial mode.
+    """
+    if jobs <= 1:
+        return {
+            phase: fn(smoke=smoke, seed=seed)
+            for phase, fn in BENCH_PHASES.items()
+        }
+    from repro.harness.parallel import map_tasks
+
+    phases = list(BENCH_PHASES)
+    results = map_tasks(
+        _bench_task,
+        [(phase, smoke, seed) for phase in phases],
+        jobs=jobs,
+        names=[f"bench:{phase}" for phase in phases],
+    )
+    failed = [r for r in results if not r.ok]
+    if failed:
+        raise RuntimeError(
+            "bench phase failures:\n"
+            + "\n".join(f"{r.name}: {r.error}" for r in failed)
+        )
+    return {phase: r.value for phase, r in zip(phases, results)}
 
 
 def check_floors(
@@ -247,15 +316,18 @@ def write_report(results: Dict[str, Dict[str, float]], path: str) -> None:
 
 
 def render_report(results: Dict[str, Dict[str, float]]) -> str:
-    """Fixed-width table of the benchmark results."""
+    """Fixed-width table of the benchmark results (wall and CPU clock)."""
     lines = [
         f"{'phase':<12} {'reference':>11} {'vectorized':>11} "
-        f"{'speedup':>8} {'ops':>12}"
+        f"{'ref (cpu)':>11} {'vec (cpu)':>11} {'speedup':>8} {'ops':>12}"
     ]
     for phase, row in results.items():
+        ref_cpu = row.get("reference_cpu_s", 0.0)
+        vec_cpu = row.get("vectorized_cpu_s", 0.0)
         lines.append(
             f"{phase:<12} {row['reference_s'] * 1e3:>9.2f}ms "
             f"{row['vectorized_s'] * 1e3:>9.2f}ms "
+            f"{ref_cpu * 1e3:>9.2f}ms {vec_cpu * 1e3:>9.2f}ms "
             f"{row['speedup']:>7.2f}x {row['ops']:>12d}"
         )
     return "\n".join(lines)

@@ -8,13 +8,16 @@ defaults.
     rtrbench run pp2d --rows 256 --seed 7
     rtrbench run rrt --help
     rtrbench run pp2d --inputset dense-city
+    rtrbench run pfl --repeats 5 --warmup 1
     rtrbench inputsets pp2d
-    rtrbench characterize
-    rtrbench bench [--smoke]
+    rtrbench characterize [-j N]
+    rtrbench bench [--smoke] [-j N]
+    rtrbench suite [-j N] [--smoke]
 """
 
 from __future__ import annotations
 
+import dataclasses
 import sys
 from typing import List, Optional
 
@@ -58,10 +61,25 @@ def _cmd_run(argv: List[str]) -> int:
         except KeyError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+        # Field defaults matter for boolean overrides: argparse models a
+        # bool field as a toggle flag, so ``str(value)`` positionals would
+        # misparse — emit the bare flag only when the value differs from
+        # the field's default (i.e. when the toggle actually fires).
+        defaults = {}
+        for f in dataclasses.fields(cls.config_cls):
+            if f.default is not dataclasses.MISSING:
+                defaults[f.name] = f.default
+            elif f.default_factory is not dataclasses.MISSING:  # type: ignore[misc]
+                defaults[f.name] = f.default_factory()  # type: ignore[misc]
         expanded = []
         for key, value in overrides.items():
-            expanded.append("--" + key.replace("_", "-"))
-            expanded.append(str(value))
+            flag = "--" + key.replace("_", "-")
+            if isinstance(value, bool):
+                if value != defaults.get(key, False):
+                    expanded.append(flag)
+            else:
+                expanded.append(flag)
+                expanded.append(str(value))
         rest = expanded + rest[:i] + rest[i + 2 :]
     config = config_from_args(cls.config_cls, rest, prog=f"rtrbench run {name}")
     result = cls().run(config)
@@ -87,16 +105,34 @@ def _cmd_inputsets(argv: List[str]) -> int:
 
 
 def _cmd_characterize(argv: List[str]) -> int:
+    import argparse
+
     from repro.experiments.characterization import (
         render_characterization,
         run_characterization,
     )
 
+    parser = argparse.ArgumentParser(
+        prog="rtrbench characterize",
+        description="Reproduce the Table I workload characterization.",
+    )
+    parser.add_argument(
+        "kernels", nargs="*", help="kernel subset (default: whole suite)"
+    )
+    parser.add_argument(
+        "-j", "--jobs", type=int, default=1,
+        help="worker processes (default: 1, serial)",
+    )
+    args = parser.parse_args(argv)
     kernels = None
-    if argv:
+    if args.kernels:
         load_all_kernels()
-        kernels = [registry.get(name).name for name in argv]
-    rows = run_characterization(kernels)
+        try:
+            kernels = [registry.get(name).name for name in args.kernels]
+        except KeyError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    rows = run_characterization(kernels, jobs=args.jobs)
     print(render_characterization(rows))
     return 0 if all(r.matches_paper for r in rows) else 1
 
@@ -136,8 +172,12 @@ def _cmd_bench(argv: List[str]) -> int:
         action="store_true",
         help="write the report without enforcing speedup floors",
     )
+    parser.add_argument(
+        "-j", "--jobs", type=int, default=1,
+        help="worker processes for the bench phases (default: 1, serial)",
+    )
     args = parser.parse_args(argv)
-    results = run_bench(smoke=args.smoke, seed=args.seed)
+    results = run_bench(smoke=args.smoke, seed=args.seed, jobs=args.jobs)
     write_report(results, args.output)
     print(render_report(results))
     print(f"report written to {args.output}")
@@ -146,6 +186,72 @@ def _cmd_bench(argv: List[str]) -> int:
     failures = check_floors(results)
     for failure in failures:
         print(f"FLOOR VIOLATION {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def _cmd_suite(argv: List[str]) -> int:
+    import argparse
+
+    from repro.harness.reporting import render_suite_report, write_json_report
+    from repro.harness.suite import check_suite_floors, run_suite
+
+    parser = argparse.ArgumentParser(
+        prog="rtrbench suite",
+        description=(
+            "Run characterization + hot-path bench + the Fig. 21 sweep "
+            "end-to-end on a worker pool, with cached workload setup."
+        ),
+    )
+    parser.add_argument(
+        "-j", "--jobs", type=int, default=1,
+        help="worker processes (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help=(
+            "fast-kernel subset, small workloads, no floor enforcement "
+            "(CI sanity run)"
+        ),
+    )
+    parser.add_argument(
+        "--seed", type=int, default=7, help="suite seed (default: 7)"
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-task timeout in seconds (parallel runs only)",
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_suite.json",
+        help="report path (default: BENCH_suite.json)",
+    )
+    parser.add_argument(
+        "--no-serial-compare",
+        action="store_true",
+        help="skip the serial comparison pass (no speedup/determinism row)",
+    )
+    parser.add_argument(
+        "--no-check",
+        action="store_true",
+        help="write the report without enforcing suite floors",
+    )
+    args = parser.parse_args(argv)
+    report = run_suite(
+        jobs=args.jobs,
+        smoke=args.smoke,
+        seed=args.seed,
+        timeout=args.timeout,
+        compare_serial=not args.no_serial_compare,
+    )
+    write_json_report(report, args.output)
+    print(render_suite_report(report))
+    print(f"report written to {args.output}")
+    if args.smoke or args.no_check:
+        return 0
+    failures = check_suite_floors(report)
+    for failure in failures:
+        print(f"SUITE VIOLATION {failure}", file=sys.stderr)
     return 1 if failures else 0
 
 
@@ -166,6 +272,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_characterize(rest)
     if command == "bench":
         return _cmd_bench(rest)
+    if command == "suite":
+        return _cmd_suite(rest)
     print(f"error: unknown command {command!r}", file=sys.stderr)
     return 2
 

@@ -41,6 +41,15 @@ class KernelConfig:
         "Hot-path execution backend: 'reference' (scalar/loop code) or "
         "'vectorized' (batched numpy)",
     )
+    repeats: int = option(
+        1,
+        "Measured ROI executions; with N > 1 the min/median wall clock "
+        "lands in the result metrics so one noisy run cannot pass for "
+        "steady state",
+    )
+    warmup: int = option(
+        0, "Untimed warmup executions before the measured repeats"
+    )
 
     def replace(self: C, **changes: Any) -> C:
         """Return a copy of this config with ``changes`` applied."""

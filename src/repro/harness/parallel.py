@@ -1,0 +1,281 @@
+"""Process-pool suite executor with crash isolation and per-task timeouts.
+
+The paper runs RTRBench as a *suite* — 16 kernels, per-kernel sweeps, a
+scale comparison — and suite-level orchestration is where wall clock is
+won or lost.  :func:`map_tasks` dispatches independent tasks over a
+bounded pool of worker *processes* (one process per task, at most
+``jobs`` alive at once) so that:
+
+* a task that raises returns a structured :class:`TaskResult` failure
+  carrying the worker's traceback, not a dead suite;
+* a task that hangs past its ``timeout`` is terminated and reported as a
+  timeout failure while every other task completes;
+* a task that dies without reporting (segfault, ``os._exit``) surfaces
+  as a failure row with the worker's exit code.
+
+Results always come back in input order, one row per task.
+
+Determinism
+-----------
+Parallel execution must not change results.  Tasks here are
+self-contained (each carries its full configuration, including its
+seed), and :func:`derive_seed` derives per-task seeds by *content* (a
+stable hash of the base seed plus the task's identity), never by worker
+id or submission timing — so ``jobs=4`` and ``jobs=1`` run bit-identical
+task payloads and produce bit-identical task outputs.
+
+With ``jobs <= 1`` tasks run inline in the calling process (no workers
+are spawned); exceptions are still captured as failure rows, but
+timeouts cannot preempt inline execution and are not enforced.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import time
+import traceback
+from dataclasses import dataclass
+from multiprocessing.connection import wait as _connection_wait
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+
+@dataclass
+class TaskResult:
+    """Outcome of one task dispatched through :func:`map_tasks`.
+
+    ``value`` holds the callable's return value when ``ok``; otherwise
+    ``error`` carries the worker's formatted traceback (or a description
+    of the crash/timeout).  ``duration`` is the parent-observed wall
+    clock for the task, including process start-up in parallel mode.
+    """
+
+    index: int
+    name: str
+    ok: bool
+    value: Any = None
+    error: Optional[str] = None
+    duration: float = 0.0
+    timed_out: bool = False
+    exitcode: Optional[int] = None
+
+
+def derive_seed(base_seed: int, *parts: object) -> int:
+    """Deterministic 63-bit seed from a base seed and task-identity parts.
+
+    Content-keyed (SHA-256 of the base seed plus ``parts``), so the seed a
+    task receives depends only on *which task it is*, never on worker
+    assignment or completion order — the property that makes parallel and
+    serial suite runs bit-identical.
+    """
+    payload = repr((int(base_seed),) + tuple(parts)).encode()
+    digest = hashlib.sha256(payload).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+def _task_worker(fn: Callable[[Any], Any], item: Any, conn: Any) -> None:
+    """Run one task in a child process and ship the outcome over a pipe."""
+    try:
+        payload = (True, fn(item), None)
+    except BaseException:
+        payload = (False, None, traceback.format_exc())
+    try:
+        conn.send(payload)
+    except Exception:
+        # The value itself failed to pickle — report that instead of dying
+        # silently (the parent would otherwise see an opaque crash).
+        try:
+            conn.send((False, None, "task result not sendable:\n"
+                       + traceback.format_exc()))
+        except Exception:  # pragma: no cover - pipe already gone
+            pass
+    finally:
+        conn.close()
+
+
+def _default_start_method() -> str:
+    """``fork`` where available (fast, no pickling of the callable)."""
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+def _run_inline(
+    fn: Callable[[Any], Any], item: Any, index: int, name: str
+) -> TaskResult:
+    """Serial fallback: run one task in-process, capturing exceptions."""
+    t0 = time.perf_counter()
+    try:
+        value = fn(item)
+    except Exception:
+        return TaskResult(
+            index=index,
+            name=name,
+            ok=False,
+            error=traceback.format_exc(),
+            duration=time.perf_counter() - t0,
+        )
+    return TaskResult(
+        index=index,
+        name=name,
+        ok=True,
+        value=value,
+        duration=time.perf_counter() - t0,
+    )
+
+
+@dataclass
+class _Running:
+    process: Any
+    conn: Any
+    started: float
+    deadline: Optional[float]
+
+
+def map_tasks(
+    fn: Callable[[Any], Any],
+    items: Sequence[Any],
+    jobs: int = 1,
+    timeout: Optional[float] = None,
+    names: Optional[Sequence[str]] = None,
+    start_method: Optional[str] = None,
+) -> List[TaskResult]:
+    """Run ``fn`` over ``items`` on a bounded pool of worker processes.
+
+    Returns one :class:`TaskResult` per item, in input order, regardless
+    of completion order or failures.  ``jobs`` bounds concurrent worker
+    processes; ``jobs <= 1`` runs inline (see module docstring for the
+    timeout caveat).  ``timeout`` is per task, in seconds; an expired
+    worker is terminated and reported with ``timed_out=True``.
+
+    With the default ``fork`` start method the callable and items are
+    inherited, not pickled; only *results* cross the process boundary
+    (and a result that cannot pickle becomes a failure row, not a hang).
+    """
+    items = list(items)
+    if names is None:
+        names = [f"task{i}" for i in range(len(items))]
+    names = [str(n) for n in names]
+    if len(names) != len(items):
+        raise ValueError(
+            f"{len(names)} names for {len(items)} items"
+        )
+    if jobs <= 1:
+        return [
+            _run_inline(fn, item, i, names[i])
+            for i, item in enumerate(items)
+        ]
+
+    ctx = multiprocessing.get_context(start_method or _default_start_method())
+    results: List[Optional[TaskResult]] = [None] * len(items)
+    pending = list(range(len(items)))
+    running: Dict[int, _Running] = {}
+
+    def finish(index: int, result: TaskResult) -> None:
+        results[index] = result
+        task = running.pop(index)
+        try:
+            task.conn.close()
+        except Exception:  # pragma: no cover - close is best-effort
+            pass
+        task.process.join()
+
+    def reap(index: int) -> None:
+        """A worker's pipe is ready: collect its payload or its corpse."""
+        task = running[index]
+        duration = time.perf_counter() - task.started
+        try:
+            ok, value, error = task.conn.recv()
+        except (EOFError, OSError):
+            # Died without sending: crash (signal, os._exit, OOM-kill).
+            task.process.join()
+            finish(
+                index,
+                TaskResult(
+                    index=index,
+                    name=names[index],
+                    ok=False,
+                    error=(
+                        f"worker died without reporting "
+                        f"(exit code {task.process.exitcode})"
+                    ),
+                    duration=duration,
+                    exitcode=task.process.exitcode,
+                ),
+            )
+            return
+        finish(
+            index,
+            TaskResult(
+                index=index,
+                name=names[index],
+                ok=ok,
+                value=value,
+                error=error,
+                duration=duration,
+            ),
+        )
+
+    def kill(index: int) -> None:
+        task = running[index]
+        duration = time.perf_counter() - task.started
+        task.process.terminate()
+        task.process.join(5.0)
+        if task.process.is_alive():  # pragma: no cover - stubborn worker
+            task.process.kill()
+            task.process.join()
+        exitcode = task.process.exitcode
+        results[index] = TaskResult(
+            index=index,
+            name=names[index],
+            ok=False,
+            error=f"task exceeded timeout of {timeout}s and was terminated",
+            duration=duration,
+            timed_out=True,
+            exitcode=exitcode,
+        )
+        try:
+            task.conn.close()
+        except Exception:  # pragma: no cover
+            pass
+        del running[index]
+
+    try:
+        while pending or running:
+            while pending and len(running) < jobs:
+                index = pending.pop(0)
+                parent_conn, child_conn = ctx.Pipe(duplex=False)
+                process = ctx.Process(
+                    target=_task_worker,
+                    args=(fn, items[index], child_conn),
+                    daemon=True,
+                )
+                now = time.perf_counter()
+                process.start()
+                child_conn.close()
+                running[index] = _Running(
+                    process=process,
+                    conn=parent_conn,
+                    started=now,
+                    deadline=None if timeout is None else now + timeout,
+                )
+            # Sleep until a worker reports, dies (its pipe hits EOF and
+            # becomes ready too), or the nearest deadline expires.
+            wait_for = 0.1
+            now = time.perf_counter()
+            for task in running.values():
+                if task.deadline is not None:
+                    wait_for = min(wait_for, max(0.0, task.deadline - now))
+            by_conn = {task.conn: idx for idx, task in running.items()}
+            ready = _connection_wait(list(by_conn), timeout=wait_for)
+            for conn in ready:
+                reap(by_conn[conn])
+            now = time.perf_counter()
+            for index in list(running):
+                task = running[index]
+                if task.deadline is not None and now >= task.deadline:
+                    kill(index)
+    finally:
+        for index in list(running):  # pragma: no cover - only on error paths
+            kill(index)
+    assert all(r is not None for r in results)
+    return results  # type: ignore[return-value]

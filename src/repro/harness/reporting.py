@@ -1,8 +1,9 @@
-"""Plain-text reporting helpers for kernel results and experiment tables."""
+"""Reporting helpers: text tables for kernel results, JSON suite reports."""
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence
+import json
+from typing import Any, Dict, Iterable, List, Sequence
 
 from repro.harness.runner import KernelResult
 
@@ -60,3 +61,60 @@ def fractions_table(fractions_by_kernel: Dict[str, Dict[str, float]]) -> str:
         for phase, share in sorted(fractions.items(), key=lambda kv: -kv[1]):
             rows.append([kernel, phase, f"{share:.1%}"])
     return format_table(["kernel", "phase", "share"], rows)
+
+
+def write_json_report(payload: Any, path: str) -> None:
+    """Write a machine-readable report as pretty-printed, sorted JSON."""
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True, default=repr)
+        fh.write("\n")
+
+
+def render_suite_report(report: Dict[str, Any]) -> str:
+    """Human view of a ``run_suite`` report: task table + wall-clock summary."""
+    rows = []
+    for row in report["tasks"]:
+        if row["ok"]:
+            status = "ok"
+        elif row.get("timed_out"):
+            status = "TIMEOUT"
+        else:
+            status = "FAIL"
+        rows.append(
+            [
+                row["task"],
+                status,
+                f"{row['wall_s']:.3f}s",
+                f"{row.get('roi_s', 0.0):.3f}s" if row["ok"] else "-",
+                f"{row.get('setup_s', 0.0):.3f}s" if row["ok"] else "-",
+            ]
+        )
+    lines = [
+        format_table(["task", "status", "wall", "ROI", "setup"], rows)
+    ]
+    suite = report["suite"]
+    lines.append(
+        f"suite: {suite['task_count']} tasks, {suite['failures']} failures, "
+        f"jobs={suite['jobs']}, wall={suite['wall_s']:.2f}s"
+    )
+    if suite.get("serial_wall_s"):
+        lines.append(
+            f"serial comparison: {suite['serial_wall_s']:.2f}s "
+            f"(parallel speedup {suite['parallel_speedup']:.2f}x)"
+        )
+    probe = report["cache"]["probe"]
+    lines.append(
+        f"cache: cold build {probe['cold_build_s'] * 1e3:.2f}ms, "
+        f"warm hit {probe['warm_hit_s'] * 1e3:.2f}ms "
+        f"({probe['hit_speedup']:.0f}x); workers "
+        + json.dumps(report["cache"]["workers"], sort_keys=True)
+    )
+    determinism = report.get("determinism", {})
+    if determinism.get("checked"):
+        lines.append(
+            "determinism: parallel == serial"
+            if determinism.get("matches")
+            else "determinism: MISMATCH in "
+            + ", ".join(determinism.get("mismatches", []))
+        )
+    return "\n".join(lines)

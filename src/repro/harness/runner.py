@@ -24,7 +24,11 @@ class KernelResult:
 
     ``output`` is kernel-specific (a path, an estimate trace, a policy...);
     ``profiler`` holds the phase breakdown measured inside the ROI;
-    ``roi_time`` is the wall-clock duration of the region of interest.
+    ``roi_time`` is the wall-clock duration of the region of interest and
+    ``setup_time`` the wall clock of workload construction outside it.
+    With ``config.repeats > 1`` both reflect the final measured repeat,
+    and ``metrics`` gains ``roi_min_s`` / ``roi_median_s`` /
+    ``roi_repeats`` summarizing the whole series.
     """
 
     kernel: str
@@ -34,6 +38,7 @@ class KernelResult:
     roi_time: float
     config: Optional[KernelConfig] = None
     metrics: Dict[str, float] = field(default_factory=dict)
+    setup_time: float = 0.0
 
     def fraction(self, phase: str) -> float:
         """Convenience passthrough to the profiler's phase share."""
@@ -66,11 +71,11 @@ class Kernel:
         """Execute the measured region.  Must be overridden."""
         raise NotImplementedError
 
-    def run(self, config: Optional[KernelConfig] = None) -> KernelResult:
-        """Set up, execute the ROI under a fresh profiler, and package results."""
-        if config is None:
-            config = self.config_cls()
+    def _run_once(self, config: KernelConfig) -> KernelResult:
+        """One setup + ROI execution under a fresh profiler."""
+        t0 = time.perf_counter()
         state = self.setup(config)
+        setup_time = time.perf_counter() - t0
         profiler = PhaseProfiler()
         roi_begin(self.name)
         t0 = time.perf_counter()
@@ -84,7 +89,44 @@ class Kernel:
             profiler=profiler,
             roi_time=roi_time,
             config=config,
+            setup_time=setup_time,
         )
+
+    def run(self, config: Optional[KernelConfig] = None) -> KernelResult:
+        """Set up, execute the ROI, and package results.
+
+        ``config.warmup`` untimed executions precede ``config.repeats``
+        measured ones; each repeat rebuilds its workload from the same
+        configuration (cheap once the setup cache is warm) so repeats are
+        independent and identically distributed.  The returned result is
+        the final repeat's — deterministic kernels produce the same output
+        every repeat — with the ROI wall-clock series summarized in
+        ``metrics``.
+        """
+        if config is None:
+            config = self.config_cls()
+        repeats = max(1, int(getattr(config, "repeats", 1)))
+        warmup = max(0, int(getattr(config, "warmup", 0)))
+        for _ in range(warmup):
+            self._run_once(config)
+        roi_times: List[float] = []
+        result = None
+        for _ in range(repeats):
+            result = self._run_once(config)
+            roi_times.append(result.roi_time)
+        assert result is not None
+        if repeats > 1 or warmup > 0:
+            ordered = sorted(roi_times)
+            mid = len(ordered) // 2
+            median = (
+                ordered[mid]
+                if len(ordered) % 2
+                else 0.5 * (ordered[mid - 1] + ordered[mid])
+            )
+            result.metrics["roi_min_s"] = min(roi_times)
+            result.metrics["roi_median_s"] = median
+            result.metrics["roi_repeats"] = float(repeats)
+        return result
 
 
 class KernelRegistry:
@@ -99,6 +141,10 @@ class KernelRegistry:
             raise ValueError(f"duplicate kernel name {cls.name!r}")
         self._kernels[cls.name] = cls
         return cls
+
+    def unregister(self, name: str) -> None:
+        """Remove a kernel by exact name (for tests and plugins)."""
+        self._kernels.pop(name, None)
 
     def get(self, name: str) -> Type[Kernel]:
         """Look up a kernel by exact name or unique suffix (``pp2d``)."""

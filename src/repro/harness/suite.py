@@ -1,0 +1,341 @@
+"""End-to-end suite execution (``rtrbench suite``).
+
+Runs the three suite-level workloads the paper reports — the Table I
+characterization of all 16 kernels, the hot-path perf bench, and the
+Fig. 21 scale comparison — as one flat task list dispatched through
+:func:`repro.harness.parallel.map_tasks`:
+
+* every kernel / bench phase / sweep point is an isolated task; one that
+  raises or hangs becomes a failure row in the report while the rest of
+  the suite completes;
+* workload setup goes through the content-keyed cache
+  (:mod:`repro.envs.cache`), so characterization, bench, and the sweep
+  stop rebuilding the same maps and clouds;
+* with ``jobs > 1`` a second, serial pass records the
+  serial-vs-parallel wall clock and cross-checks that both passes
+  produced identical per-task fingerprints (operation counters — the
+  timing-free part of each result), the suite's determinism guarantee.
+
+``run_suite`` returns (and ``rtrbench suite`` writes, as
+``BENCH_suite.json``) a machine-readable report with per-task ROI and
+setup time, cache hit/miss accounting, wall clocks, and worker count.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.harness.parallel import TaskResult, derive_seed, map_tasks
+
+#: Fast kernels for ``--smoke`` runs (sub-second at default configs).
+SMOKE_KERNELS = (
+    "02.ekfslam",
+    "11.sym-blkw",
+    "12.sym-fext",
+    "13.dmp",
+    "15.cem",
+    "16.bo",
+)
+
+#: Floors the full (non-smoke) suite must clear; see ``check_suite_floors``.
+SUITE_FLOORS: Dict[str, float] = {
+    "parallel_speedup": 2.0,
+    "cache_hit_speedup": 5.0,
+}
+
+
+def _fingerprint(payload: Any) -> str:
+    """Short stable digest of a task's timing-free output."""
+    text = json.dumps(payload, sort_keys=True, default=repr)
+    return hashlib.sha256(text.encode()).hexdigest()[:16]
+
+
+def suite_tasks(
+    smoke: bool = False,
+    seed: int = 7,
+    kernels: Optional[Sequence[str]] = None,
+) -> List[Dict[str, Any]]:
+    """The suite's task list: characterization + bench + Fig. 21 sweep.
+
+    Each task is a small picklable dict carrying its complete
+    configuration, including a content-derived seed where the workload
+    takes one — task identity, not worker assignment, decides every
+    random stream.
+    """
+    from repro.experiments.characterization import EXPECTATIONS
+    from repro.harness.bench import BENCH_PHASES
+
+    if kernels is None:
+        kernels = (
+            list(SMOKE_KERNELS)
+            if smoke
+            else [e.kernel for e in EXPECTATIONS]
+        )
+    tasks: List[Dict[str, Any]] = [
+        {
+            "section": "characterize",
+            "name": f"characterize:{kernel}",
+            "kernel": kernel,
+        }
+        for kernel in kernels
+    ]
+    tasks.extend(
+        {
+            "section": "bench",
+            "name": f"bench:{phase}",
+            "phase": phase,
+            "smoke": smoke,
+            "seed": derive_seed(seed, "bench", phase) % 2**31,
+        }
+        for phase in BENCH_PHASES
+    )
+    scales = [1, 2] if smoke else [1, 2, 4, 8]
+    educational_max_scale = 1 if smoke else 2
+    tasks.extend(
+        {
+            "section": "fig21",
+            "name": f"fig21:x{scale}",
+            "scale": scale,
+            "educational_max_scale": educational_max_scale,
+        }
+        for scale in scales
+    )
+    return tasks
+
+
+def run_suite_task(task: Dict[str, Any]) -> Dict[str, Any]:
+    """Execute one suite task (worker-process entry); returns a report row.
+
+    The row carries ROI/setup wall clock, a timing-free ``fingerprint``
+    (operation counters / deterministic work counts) for determinism
+    checks, section-specific detail, and the *delta* of this process's
+    cache statistics attributable to the task.
+    """
+    from repro.envs.cache import default_cache
+
+    stats = default_cache().stats
+    before = stats.as_dict()
+    section = task["section"]
+    if section == "characterize":
+        from repro.experiments.characterization import (
+            characterize_kernel_by_name,
+        )
+
+        row = characterize_kernel_by_name(task["kernel"])
+        payload: Dict[str, Any] = {
+            "roi_s": row.roi_time,
+            "setup_s": row.setup_time,
+            "fingerprint": _fingerprint(row.counters),
+            "detail": {
+                "stage": row.stage,
+                "dominant_phase": row.dominant_phase,
+                "combined_share": row.combined_share,
+                "matches_paper": row.matches_paper,
+                "counters": row.counters,
+            },
+        }
+    elif section == "bench":
+        from repro.harness.bench import BENCH_PHASES
+
+        metrics = BENCH_PHASES[task["phase"]](
+            smoke=task["smoke"], seed=task["seed"]
+        )
+        payload = {
+            "roi_s": metrics["reference_s"] + metrics["vectorized_s"],
+            "setup_s": 0.0,
+            "fingerprint": _fingerprint(metrics["ops"]),
+            "detail": metrics,
+        }
+    elif section == "fig21":
+        from repro.experiments.fig21_comparison import run_fig21_point
+
+        point = run_fig21_point(
+            task["scale"], task["educational_max_scale"]
+        )
+        payload = {
+            "roi_s": point.optimized_time,
+            "setup_s": 0.0,
+            # Timing-only task: no deterministic counters to fingerprint.
+            "fingerprint": None,
+            "detail": {
+                "scale": point.scale,
+                "optimized_s": point.optimized_time,
+                "educational_s": point.educational_time,
+                "speedup": point.speedup,
+            },
+        }
+    else:
+        raise ValueError(f"unknown suite task section {section!r}")
+    after = stats.as_dict()
+    payload["cache"] = {
+        key: after[key] - before[key] for key in after
+    }
+    return payload
+
+
+def _cache_probe(smoke: bool = False, seed: int = 7) -> Dict[str, Any]:
+    """Measure cold-build vs cache-hit setup time for a suite workload.
+
+    Uses the pfl building map (the suite's most expensive procedural
+    artifact): one bypassed build for the cold number, then a cached call
+    served from the warmed cache for the hit number.
+    """
+    from repro.envs.mapgen import wean_hall_like
+
+    if smoke:
+        params = dict(rows=160, cols=200, resolution=0.25, seed=seed)
+    else:
+        params = dict(rows=320, cols=400, resolution=0.125, seed=seed)
+    t0 = time.perf_counter()
+    wean_hall_like.build_uncached(**params)
+    cold_s = time.perf_counter() - t0
+    wean_hall_like(**params)  # warm both cache layers
+    t0 = time.perf_counter()
+    wean_hall_like(**params)
+    warm_s = time.perf_counter() - t0
+    return {
+        "workload": "wean_hall_like",
+        "params": params,
+        "cold_build_s": cold_s,
+        "warm_hit_s": warm_s,
+        "hit_speedup": cold_s / warm_s if warm_s > 0 else float("inf"),
+    }
+
+
+def _rows(results: Sequence[TaskResult]) -> List[Dict[str, Any]]:
+    """TaskResults -> report rows (failure rows keep the worker traceback)."""
+    rows = []
+    for result in results:
+        row: Dict[str, Any] = {
+            "task": result.name,
+            "section": result.name.split(":", 1)[0],
+            "ok": result.ok,
+            "wall_s": result.duration,
+            "timed_out": result.timed_out,
+        }
+        if result.ok:
+            row.update(result.value)
+        else:
+            row["error"] = result.error
+        rows.append(row)
+    return rows
+
+
+def _aggregate_cache(rows: Sequence[Dict[str, Any]]) -> Dict[str, float]:
+    """Sum the per-task cache deltas reported by the workers."""
+    total: Dict[str, float] = {}
+    for row in rows:
+        for key, value in (row.get("cache") or {}).items():
+            total[key] = total.get(key, 0) + value
+    return total
+
+
+def run_suite(
+    jobs: int = 1,
+    smoke: bool = False,
+    seed: int = 7,
+    kernels: Optional[Sequence[str]] = None,
+    timeout: Optional[float] = None,
+    compare_serial: bool = True,
+) -> Dict[str, Any]:
+    """Run the whole suite and return the ``BENCH_suite.json`` payload.
+
+    With ``jobs > 1`` and ``compare_serial`` the task list runs twice —
+    once on ``jobs`` workers, once serially — recording both wall clocks
+    and cross-checking task fingerprints between the passes.  The serial
+    pass runs second, on a cache the parallel pass already warmed, so the
+    recorded parallel speedup is a *conservative* lower bound.
+    """
+    tasks = suite_tasks(smoke=smoke, seed=seed, kernels=kernels)
+    names = [t["name"] for t in tasks]
+    t0 = time.perf_counter()
+    results = map_tasks(
+        run_suite_task, tasks, jobs=jobs, timeout=timeout, names=names
+    )
+    wall_s = time.perf_counter() - t0
+    rows = _rows(results)
+
+    serial_wall_s = None
+    determinism: Dict[str, Any] = {"checked": False}
+    if jobs > 1 and compare_serial:
+        t0 = time.perf_counter()
+        serial_results = map_tasks(
+            run_suite_task, tasks, jobs=1, names=names
+        )
+        serial_wall_s = time.perf_counter() - t0
+        mismatches = []
+        for parallel_r, serial_r in zip(results, serial_results):
+            if not (parallel_r.ok and serial_r.ok):
+                continue
+            if (
+                parallel_r.value["fingerprint"]
+                != serial_r.value["fingerprint"]
+            ):
+                mismatches.append(parallel_r.name)
+        determinism = {
+            "checked": True,
+            "matches": not mismatches,
+            "mismatches": mismatches,
+        }
+
+    probe = _cache_probe(smoke=smoke, seed=seed)
+    return {
+        "suite": {
+            "jobs": jobs,
+            "smoke": smoke,
+            "seed": seed,
+            "task_count": len(tasks),
+            "failures": sum(1 for row in rows if not row["ok"]),
+            "wall_s": wall_s,
+            "serial_wall_s": serial_wall_s,
+            "parallel_speedup": (
+                serial_wall_s / wall_s if serial_wall_s else None
+            ),
+        },
+        "cache": {
+            "probe": probe,
+            "workers": _aggregate_cache(rows),
+        },
+        "determinism": determinism,
+        "tasks": rows,
+    }
+
+
+def check_suite_floors(
+    report: Dict[str, Any],
+    floors: Dict[str, float] = SUITE_FLOORS,
+) -> List[str]:
+    """Floor/consistency violations for a full suite run (empty = pass).
+
+    Checks: no failed tasks, serial-vs-parallel determinism when it was
+    measured, parallel speedup (when a serial comparison pass ran) and
+    cache-hit speedup against ``floors``.
+    """
+    failures = []
+    for row in report["tasks"]:
+        if not row["ok"]:
+            reason = "timed out" if row.get("timed_out") else "failed"
+            failures.append(f"task {row['task']}: {reason}")
+    determinism = report.get("determinism", {})
+    if determinism.get("checked") and not determinism.get("matches"):
+        failures.append(
+            "determinism: parallel and serial fingerprints differ for "
+            + ", ".join(determinism.get("mismatches", []))
+        )
+    speedup = report["suite"].get("parallel_speedup")
+    floor = floors.get("parallel_speedup")
+    if speedup is not None and floor is not None and speedup < floor:
+        failures.append(
+            f"parallel_speedup: {speedup:.2f}x below floor {floor:.1f}x"
+        )
+    hit_speedup = report["cache"]["probe"]["hit_speedup"]
+    floor = floors.get("cache_hit_speedup")
+    if floor is not None and hit_speedup < floor:
+        failures.append(
+            f"cache_hit_speedup: {hit_speedup:.2f}x below floor "
+            f"{floor:.1f}x"
+        )
+    return failures

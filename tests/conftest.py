@@ -6,6 +6,22 @@ import numpy as np
 import pytest
 
 
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_workload_cache(tmp_path_factory):
+    """Point the workload cache at a session-temporary directory.
+
+    Keeps test runs from writing ``.rtrbench_cache/`` into the repository
+    while still exercising both cache layers; forked suite workers
+    inherit the redirected cache.
+    """
+    from repro.envs.cache import WorkloadCache, set_default_cache
+
+    cache_dir = tmp_path_factory.mktemp("rtrbench_cache")
+    set_default_cache(WorkloadCache(cache_dir=str(cache_dir)))
+    yield
+    set_default_cache(None)
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """A deterministic random generator for tests."""

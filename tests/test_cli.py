@@ -1,8 +1,42 @@
 """Tests for the rtrbench command-line interface (paper Fig. 20)."""
 
+import json
+from dataclasses import dataclass
+
 import pytest
 
 from repro.harness.cli import main
+from repro.harness.config import KernelConfig, option
+from repro.harness.runner import Kernel, registry
+
+
+@dataclass
+class _FlagConfig(KernelConfig):
+    iterations: int = option(1, "How many times")
+    fancy: bool = option(False, "Enable fancy mode")
+
+
+class _FlagKernel(Kernel):
+    """Toy kernel with a boolean option, for --inputset expansion tests."""
+
+    name = "98.flagtest"
+    stage = "testing"
+    config_cls = _FlagConfig
+
+    def run_roi(self, config, state, profiler):
+        with profiler.phase("noop"):
+            return {"fancy": config.fancy, "iterations": config.iterations}
+
+
+@pytest.fixture
+def flag_kernel():
+    """Register the toy kernel for one test, leaving the registry clean."""
+    try:
+        registry.register(_FlagKernel)
+    except ValueError:
+        pass
+    yield
+    registry.unregister(_FlagKernel.name)
 
 
 def test_list_command_prints_all_kernels(capsys):
@@ -58,3 +92,92 @@ def test_run_writes_output_file(tmp_path, capsys):
     assert code == 0
     assert target.exists()
     assert "15.cem" in target.read_text()
+
+
+def test_run_repeats_records_roi_series(capsys):
+    code = main(
+        ["run", "cem", "--iterations", "1", "--samples", "3",
+         "--repeats", "3", "--warmup", "1"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "roi_min_s" in out
+    assert "roi_median_s" in out
+
+
+def test_inputsets_lists_kernel(capsys):
+    assert main(["inputsets", "pp2d"]) == 0
+    out = capsys.readouterr().out
+    assert "dense-city" in out
+
+
+def test_inputsets_unknown_kernel_errors(capsys):
+    assert main(["inputsets", "doesnotexist"]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_run_with_inputset_applies_overrides(capsys):
+    assert main(
+        ["run", "cem", "--inputset", "far-goal", "--iterations", "1",
+         "--samples", "3"]
+    ) == 0
+    assert "15.cem" in capsys.readouterr().out
+
+
+def test_run_with_unknown_inputset_errors(capsys):
+    assert main(["run", "cem", "--inputset", "nope"]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_run_inputset_missing_name_errors(capsys):
+    assert main(["run", "cem", "--inputset"]) == 2
+    assert "requires a name" in capsys.readouterr().err
+
+
+def test_inputset_boolean_override_expands_to_flag(
+    capsys, monkeypatch, flag_kernel
+):
+    """A True boolean override becomes a bare flag, not a positional."""
+    from repro.envs import inputsets
+
+    monkeypatch.setitem(
+        inputsets.INPUTSETS,
+        "flagtest",
+        {"fancy-on": {"fancy": True, "iterations": 2},
+         "fancy-default": {"fancy": False, "iterations": 3}},
+    )
+    assert main(["run", "flagtest", "--inputset", "fancy-on"]) == 0
+    out = capsys.readouterr().out
+    assert "98.flagtest" in out
+    # A False override matching the default must be omitted entirely.
+    assert main(["run", "flagtest", "--inputset", "fancy-default"]) == 0
+
+
+def test_characterize_subset(capsys):
+    assert main(["characterize", "cem"]) == 0
+    out = capsys.readouterr().out
+    assert "15.cem" in out
+    assert "matches" in out
+
+
+def test_characterize_unknown_kernel_errors(capsys):
+    assert main(["characterize", "doesnotexist"]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_suite_smoke_writes_report(tmp_path, capsys):
+    target = tmp_path / "BENCH_suite.json"
+    code = main(
+        ["suite", "--smoke", "-j", "2", "--output", str(target),
+         "--no-serial-compare"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "suite:" in out
+    report = json.loads(target.read_text())
+    assert set(report) == {"suite", "cache", "determinism", "tasks"}
+    assert report["suite"]["jobs"] == 2
+    assert report["suite"]["failures"] == 0
+    assert any(
+        row["task"].startswith("characterize:") for row in report["tasks"]
+    )

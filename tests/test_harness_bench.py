@@ -15,7 +15,14 @@ from repro.harness.bench import (
 )
 
 PHASES = ("raycast", "collision", "nn")
-FIELDS = ("reference_s", "vectorized_s", "speedup", "ops")
+FIELDS = (
+    "reference_s",
+    "vectorized_s",
+    "reference_cpu_s",
+    "vectorized_cpu_s",
+    "speedup",
+    "ops",
+)
 
 
 @pytest.fixture(scope="module")
@@ -40,6 +47,25 @@ def test_ops_deterministic(smoke_results):
     again = run_bench(smoke=True)
     for phase in PHASES:
         assert again[phase]["ops"] == smoke_results[phase]["ops"]
+
+
+def test_cpu_time_recorded(smoke_results):
+    for phase in PHASES:
+        assert smoke_results[phase]["reference_cpu_s"] >= 0.0
+        assert smoke_results[phase]["vectorized_cpu_s"] >= 0.0
+
+
+def test_parallel_bench_matches_serial_ops(smoke_results):
+    parallel = run_bench(smoke=True, jobs=3)
+    assert set(parallel) == set(PHASES)
+    for phase in PHASES:
+        assert parallel[phase]["ops"] == smoke_results[phase]["ops"]
+
+
+def test_gc_reenabled_after_bench(smoke_results):
+    import gc
+
+    assert gc.isenabled()
 
 
 def test_report_roundtrip(smoke_results, tmp_path):

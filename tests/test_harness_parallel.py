@@ -1,0 +1,129 @@
+"""Tests for the process-pool suite executor (crash/timeout isolation)."""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.harness.parallel import TaskResult, derive_seed, map_tasks
+
+
+def _square(x):
+    return x * x
+
+
+def _fail_on_two(x):
+    if x == 2:
+        raise ValueError("two is right out")
+    return x
+
+
+def _hang_on_one(x):
+    if x == 1:
+        time.sleep(60.0)
+    return x
+
+
+def _die_silently(x):
+    if x == 1:
+        os._exit(17)
+    return x
+
+
+def _unpicklable(_x):
+    return lambda: None
+
+
+# -- ordering and values -------------------------------------------------------
+
+
+@pytest.mark.parametrize("jobs", [1, 3])
+def test_results_in_input_order(jobs):
+    results = map_tasks(_square, [3, 1, 2], jobs=jobs)
+    assert [r.value for r in results] == [9, 1, 4]
+    assert [r.index for r in results] == [0, 1, 2]
+    assert all(r.ok for r in results)
+    assert all(r.duration >= 0.0 for r in results)
+
+
+def test_names_label_results():
+    results = map_tasks(_square, [1, 2], jobs=2, names=["a", "b"])
+    assert [r.name for r in results] == ["a", "b"]
+
+
+def test_name_count_mismatch_raises():
+    with pytest.raises(ValueError, match="names"):
+        map_tasks(_square, [1, 2], names=["only-one"])
+
+
+def test_empty_items():
+    assert map_tasks(_square, [], jobs=4) == []
+
+
+# -- crash isolation -----------------------------------------------------------
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_exception_becomes_failure_row(jobs):
+    results = map_tasks(_fail_on_two, [1, 2, 3], jobs=jobs)
+    assert [r.ok for r in results] == [True, False, True]
+    assert [r.value for r in results] == [1, None, 3]
+    assert "two is right out" in results[1].error
+
+
+def test_silent_worker_death_is_reported():
+    results = map_tasks(_die_silently, [0, 1, 2], jobs=2)
+    assert [r.ok for r in results] == [True, False, True]
+    assert results[1].exitcode == 17
+    assert "died without reporting" in results[1].error
+
+
+def test_unpicklable_result_is_reported_not_hung():
+    results = map_tasks(_unpicklable, [0], jobs=2)
+    assert not results[0].ok
+    assert "not sendable" in results[0].error
+
+
+# -- timeouts ------------------------------------------------------------------
+
+
+def test_timeout_kills_only_the_hung_task():
+    t0 = time.perf_counter()
+    results = map_tasks(_hang_on_one, [0, 1, 2], jobs=2, timeout=1.5)
+    elapsed = time.perf_counter() - t0
+    assert [r.ok for r in results] == [True, False, True]
+    assert results[1].timed_out
+    assert "timeout" in results[1].error
+    assert not results[0].timed_out and not results[2].timed_out
+    # The suite survived the hang in roughly one timeout, not sleep(60).
+    assert elapsed < 30.0
+
+
+# -- determinism ---------------------------------------------------------------
+
+
+def test_derive_seed_is_stable_and_content_keyed():
+    assert derive_seed(7, "bench", "raycast") == derive_seed(
+        7, "bench", "raycast"
+    )
+    assert derive_seed(7, "bench", "raycast") != derive_seed(
+        7, "bench", "collision"
+    )
+    assert derive_seed(7, "a") != derive_seed(8, "a")
+    seed = derive_seed(0, "x")
+    assert 0 <= seed < 2**63
+
+
+def test_parallel_and_serial_runs_match():
+    serial = map_tasks(_square, list(range(8)), jobs=1)
+    parallel = map_tasks(_square, list(range(8)), jobs=4)
+    assert [r.value for r in serial] == [r.value for r in parallel]
+
+
+def test_task_result_defaults():
+    row = TaskResult(index=0, name="t", ok=True, value=1)
+    assert row.error is None
+    assert not row.timed_out
+    assert row.exitcode is None

@@ -46,6 +46,20 @@ def test_kernel_run_with_default_config():
     assert result.output == 6
 
 
+def test_kernel_run_records_setup_time():
+    result = _ToyKernel().run()
+    assert result.setup_time >= 0.0
+    assert "roi_min_s" not in result.metrics  # single run: no series
+
+
+def test_kernel_run_repeats_record_series():
+    result = _ToyKernel().run(_ToyConfig(value=5, repeats=3, warmup=1))
+    assert result.output == 10  # final repeat's output, deterministic
+    assert result.metrics["roi_repeats"] == 3.0
+    assert result.metrics["roi_min_s"] <= result.metrics["roi_median_s"]
+    assert result.metrics["roi_min_s"] <= result.roi_time
+
+
 def test_run_roi_must_be_overridden():
     class Bare(Kernel):
         pass

@@ -1,0 +1,156 @@
+"""Tests for the end-to-end suite executor (``rtrbench suite``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.suite import (
+    SMOKE_KERNELS,
+    SUITE_FLOORS,
+    check_suite_floors,
+    run_suite,
+    suite_tasks,
+)
+
+#: Tiny kernel subset that keeps suite-level tests fast.
+FAST_KERNELS = ("11.sym-blkw", "13.dmp", "15.cem")
+
+
+def test_suite_tasks_cover_all_sections():
+    tasks = suite_tasks(smoke=True)
+    sections = {t["section"] for t in tasks}
+    assert sections == {"characterize", "bench", "fig21"}
+    names = [t["name"] for t in tasks]
+    assert len(names) == len(set(names))
+    for kernel in SMOKE_KERNELS:
+        assert f"characterize:{kernel}" in names
+
+
+def test_suite_tasks_seeds_are_content_derived():
+    first = suite_tasks(smoke=True, seed=7)
+    again = suite_tasks(smoke=True, seed=7)
+    other = suite_tasks(smoke=True, seed=8)
+    bench = [t for t in first if t["section"] == "bench"]
+    assert [t["seed"] for t in bench] == [
+        t["seed"] for t in again if t["section"] == "bench"
+    ]
+    assert [t["seed"] for t in bench] != [
+        t["seed"] for t in other if t["section"] == "bench"
+    ]
+
+
+@pytest.fixture(scope="module")
+def smoke_report():
+    """One parallel smoke run with the serial comparison pass."""
+    return run_suite(jobs=4, smoke=True, kernels=FAST_KERNELS)
+
+
+def test_report_schema(smoke_report):
+    suite = smoke_report["suite"]
+    assert suite["jobs"] == 4
+    assert suite["task_count"] == len(smoke_report["tasks"])
+    assert suite["failures"] == 0
+    assert suite["wall_s"] > 0.0
+    assert suite["serial_wall_s"] > 0.0
+    assert suite["parallel_speedup"] == pytest.approx(
+        suite["serial_wall_s"] / suite["wall_s"]
+    )
+    for row in smoke_report["tasks"]:
+        assert row["ok"], row
+        assert row["wall_s"] > 0.0
+        assert row["roi_s"] >= 0.0
+        assert row["setup_s"] >= 0.0
+        assert "cache" in row
+
+
+def test_parallel_matches_serial(smoke_report):
+    """The acceptance guarantee: -j N and -j 1 produce identical outputs.
+
+    Fingerprints digest each task's operation counters / deterministic
+    work counts — the timing-free portion of its result — and the report
+    cross-checks them between the parallel and serial passes.
+    """
+    determinism = smoke_report["determinism"]
+    assert determinism["checked"]
+    assert determinism["matches"], determinism["mismatches"]
+
+
+def test_cache_probe_beats_cold_build(smoke_report):
+    probe = smoke_report["cache"]["probe"]
+    assert probe["cold_build_s"] > 0.0
+    assert probe["warm_hit_s"] > 0.0
+    # The full-size floor is 5x; even the smoke map clears 2x with
+    # headroom on a loaded machine.
+    assert probe["hit_speedup"] > 2.0
+
+
+def test_failing_kernel_becomes_failure_row_not_dead_suite():
+    report = run_suite(
+        jobs=2,
+        smoke=True,
+        kernels=["15.cem", "no-such-kernel"],
+        compare_serial=False,
+    )
+    by_task = {row["task"]: row for row in report["tasks"]}
+    bad = by_task["characterize:no-such-kernel"]
+    assert not bad["ok"]
+    assert "no-such-kernel" in bad["error"]
+    good = by_task["characterize:15.cem"]
+    assert good["ok"]
+    assert report["suite"]["failures"] == 1
+    assert any(
+        "no-such-kernel" in failure for failure in check_suite_floors(report)
+    )
+
+
+def test_check_suite_floors_passes_good_report():
+    report = {
+        "suite": {"parallel_speedup": SUITE_FLOORS["parallel_speedup"] + 1},
+        "cache": {
+            "probe": {
+                "hit_speedup": SUITE_FLOORS["cache_hit_speedup"] + 1
+            }
+        },
+        "determinism": {"checked": True, "matches": True},
+        "tasks": [{"task": "t", "ok": True}],
+    }
+    assert check_suite_floors(report) == []
+
+
+def test_check_suite_floors_flags_regressions():
+    report = {
+        "suite": {"parallel_speedup": 1.0},
+        "cache": {"probe": {"hit_speedup": 1.0}},
+        "determinism": {
+            "checked": True,
+            "matches": False,
+            "mismatches": ["bench:raycast"],
+        },
+        "tasks": [
+            {"task": "slow", "ok": False, "timed_out": True},
+            {"task": "fine", "ok": True},
+        ],
+    }
+    failures = check_suite_floors(report)
+    assert any("timed out" in f for f in failures)
+    assert any("determinism" in f for f in failures)
+    assert any("parallel_speedup" in f for f in failures)
+    assert any("cache_hit_speedup" in f for f in failures)
+
+
+def test_serial_only_report_skips_speedup_floor():
+    report = run_suite(
+        jobs=1, smoke=True, kernels=FAST_KERNELS, compare_serial=True
+    )
+    assert report["suite"]["serial_wall_s"] is None
+    assert not report["determinism"]["checked"]
+    # No parallel pass -> the speedup floor cannot apply.
+    assert not any(
+        "parallel_speedup" in f for f in check_suite_floors(report)
+    )
+
+
+def test_suite_registered_as_experiment():
+    from repro.experiments import EXPERIMENTS
+
+    assert "SUITE" in EXPERIMENTS
