@@ -24,8 +24,9 @@ from repro.harness.runner import (
     registry,
     run_kernel,
 )
+from repro.rt import run_rt
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Kernel",
@@ -33,5 +34,6 @@ __all__ = [
     "load_all_kernels",
     "registry",
     "run_kernel",
+    "run_rt",
     "__version__",
 ]

@@ -200,6 +200,33 @@ class WorkloadCache:
             self.stats.per_category.get(category, 0) + 1
         )
 
+    def disk_stats(self) -> Dict[str, Any]:
+        """Entry count and byte usage of the on-disk layer.
+
+        Powers ``rtrbench cache stats``; counts only ``.pkl`` entries
+        (leftover ``.tmp`` files from interrupted writes are ignored —
+        ``clear`` removes them too).
+        """
+        entries = 0
+        total_bytes = 0
+        if self.persist and os.path.isdir(self.cache_dir):
+            for name in os.listdir(self.cache_dir):
+                if not name.endswith(".pkl"):
+                    continue
+                entries += 1
+                try:
+                    total_bytes += os.path.getsize(
+                        os.path.join(self.cache_dir, name)
+                    )
+                except OSError:  # pragma: no cover - concurrent delete
+                    pass
+        return {
+            "cache_dir": self.cache_dir,
+            "enabled": self.enabled,
+            "entries": entries,
+            "bytes": total_bytes,
+        }
+
     def clear(self, memory_only: bool = False) -> None:
         """Drop the in-memory layer (and the disk layer unless asked not to)."""
         with self._lock:

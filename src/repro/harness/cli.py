@@ -12,7 +12,10 @@ defaults.
     rtrbench inputsets pp2d
     rtrbench characterize [-j N]
     rtrbench bench [--smoke] [-j N]
-    rtrbench suite [-j N] [--smoke]
+    rtrbench suite [-j N] [--smoke] [--filter GLOB]
+    rtrbench rt pfl --period-ms 100 --deadline-ms 100 --jobs 200
+    rtrbench rt cem --antagonists 4 --antagonist-kind membw
+    rtrbench cache [stats|clear]
 """
 
 from __future__ import annotations
@@ -236,14 +239,28 @@ def _cmd_suite(argv: List[str]) -> int:
         action="store_true",
         help="write the report without enforcing suite floors",
     )
-    args = parser.parse_args(argv)
-    report = run_suite(
-        jobs=args.jobs,
-        smoke=args.smoke,
-        seed=args.seed,
-        timeout=args.timeout,
-        compare_serial=not args.no_serial_compare,
+    parser.add_argument(
+        "--filter",
+        default=None,
+        metavar="GLOB",
+        help=(
+            "run only tasks whose name matches this glob "
+            "(e.g. 'characterize:*', 'rt:*', 'bench:raycast')"
+        ),
     )
+    args = parser.parse_args(argv)
+    try:
+        report = run_suite(
+            jobs=args.jobs,
+            smoke=args.smoke,
+            seed=args.seed,
+            timeout=args.timeout,
+            compare_serial=not args.no_serial_compare,
+            task_filter=args.filter,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     write_json_report(report, args.output)
     print(render_suite_report(report))
     print(f"report written to {args.output}")
@@ -253,6 +270,158 @@ def _cmd_suite(argv: List[str]) -> int:
     for failure in failures:
         print(f"SUITE VIOLATION {failure}", file=sys.stderr)
     return 1 if failures else 0
+
+
+def _cmd_rt(argv: List[str]) -> int:
+    import argparse
+
+    from repro.harness.reporting import render_rt_report, write_json_report
+    from repro.rt.interference import ANTAGONIST_KINDS
+    from repro.rt.run import check_rt_floors, run_rt
+    from repro.rt.scheduler import OVERRUN_POLICIES
+
+    parser = argparse.ArgumentParser(
+        prog="rtrbench rt",
+        description=(
+            "Run a kernel as a periodic real-time task: fire jobs on a "
+            "fixed period, record response-time quantiles, release "
+            "jitter, and deadline misses, and judge the run against an "
+            "SLO.  Unrecognized options are forwarded to the kernel's "
+            "own configuration (same flags as 'rtrbench run')."
+        ),
+    )
+    parser.add_argument("kernel", help="kernel name (e.g. pp2d or 04.pp2d)")
+    parser.add_argument(
+        "--period-ms", type=float, default=None,
+        help=(
+            "release period in ms (default: the kernel's entry in "
+            "RT_KERNEL_DEFAULTS; 0 auto-calibrates from warmup jobs)"
+        ),
+    )
+    parser.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="relative deadline in ms (default: the period)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="measured jobs (default: 50, or 12 with --smoke)",
+    )
+    parser.add_argument(
+        "--warmup", type=int, default=None,
+        help="excluded warmup jobs (default: 3, or 1 with --smoke)",
+    )
+    parser.add_argument(
+        "--overrun", choices=OVERRUN_POLICIES, default="skip",
+        help="policy when a job overruns the next release (default: skip)",
+    )
+    parser.add_argument(
+        "--antagonists", type=int, default=0,
+        help="also run under N antagonist processes and report both",
+    )
+    parser.add_argument(
+        "--antagonist-kind", choices=ANTAGONIST_KINDS, default="cpu",
+        help="antagonist workload (default: cpu)",
+    )
+    parser.add_argument(
+        "--max-miss-rate", type=float, default=None,
+        help="SLO miss-rate bound (default: 0.1, or 1.0 with --smoke)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small job count, relaxed miss-rate bound, no floors",
+    )
+    parser.add_argument(
+        "--output", default="BENCH_rt.json",
+        help="report path (default: BENCH_rt.json)",
+    )
+    parser.add_argument(
+        "--no-check", action="store_true",
+        help="write the report without enforcing rt floors",
+    )
+    args, kernel_args = parser.parse_known_args(argv)
+
+    from repro.harness.runner import load_all_kernels, registry
+
+    load_all_kernels()
+    try:
+        cls = registry.get(args.kernel)
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    config = None
+    if kernel_args:
+        config = config_from_args(
+            cls.config_cls, kernel_args, prog=f"rtrbench rt {args.kernel}"
+        )
+    report = run_rt(
+        cls.name,
+        period_ms=args.period_ms,
+        deadline_ms=args.deadline_ms,
+        jobs=args.jobs,
+        warmup=args.warmup,
+        overrun=args.overrun,
+        antagonists=args.antagonists,
+        antagonist_kind=args.antagonist_kind,
+        smoke=args.smoke,
+        max_miss_rate=args.max_miss_rate,
+        config=config,
+    )
+    write_json_report(report, args.output)
+    print(render_rt_report(report))
+    print(f"report written to {args.output}")
+    if args.smoke or args.no_check:
+        return 0
+    failures = check_rt_floors(report)
+    for failure in failures:
+        print(f"RT VIOLATION {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def _cmd_cache(argv: List[str]) -> int:
+    import argparse
+
+    from repro.envs.cache import default_cache
+
+    parser = argparse.ArgumentParser(
+        prog="rtrbench cache",
+        description=(
+            "Inspect or clear the content-keyed workload cache "
+            "(.rtrbench_cache/ by default; RTRBENCH_CACHE_DIR relocates "
+            "it)."
+        ),
+    )
+    parser.add_argument(
+        "action", nargs="?", default="stats", choices=("stats", "clear"),
+        help="'stats' (default) prints disk usage; 'clear' empties the cache",
+    )
+    parser.add_argument(
+        "--memory-only", action="store_true",
+        help="with 'clear': drop only the in-process layer, keep disk",
+    )
+    args = parser.parse_args(argv)
+    cache = default_cache()
+    if args.action == "clear":
+        before = cache.disk_stats()
+        cache.clear(memory_only=args.memory_only)
+        after = cache.disk_stats()
+        print(
+            f"cleared {before['entries'] - after['entries']} entries "
+            f"({before['bytes'] - after['bytes']} bytes) from "
+            f"{cache.cache_dir}"
+        )
+        return 0
+    stats = cache.disk_stats()
+    print(f"cache dir: {stats['cache_dir']}")
+    print(f"enabled: {stats['enabled']}")
+    print(f"entries: {stats['entries']}")
+    print(f"bytes: {stats['bytes']}")
+    process = cache.stats.as_dict()
+    print(
+        "this process: "
+        f"{cache.stats.hits} hits ({process['memory_hits']} memory, "
+        f"{process['disk_hits']} disk), {process['misses']} misses"
+    )
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -274,6 +443,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_bench(rest)
     if command == "suite":
         return _cmd_suite(rest)
+    if command == "rt":
+        return _cmd_rt(rest)
+    if command == "cache":
+        return _cmd_cache(rest)
     print(f"error: unknown command {command!r}", file=sys.stderr)
     return 2
 

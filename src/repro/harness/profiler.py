@@ -12,6 +12,7 @@ available for every run.
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
@@ -21,12 +22,23 @@ from contextlib import contextmanager
 
 @dataclass
 class PhaseStats:
-    """Accumulated statistics for one named phase."""
+    """Accumulated statistics for one named phase.
+
+    Besides the exclusive/inclusive *totals*, each phase tracks the
+    per-call inclusive duration extremes (``min_time`` / ``max_time``)
+    and the most recent call (``last_time``), so jitter-style reports —
+    "how variable is one iteration of this phase?" — come from the same
+    stats path as the characterization totals.  ``min_time`` is ``inf``
+    until the phase has run at least once.
+    """
 
     name: str
     exclusive_time: float = 0.0
     inclusive_time: float = 0.0
     calls: int = 0
+    min_time: float = math.inf
+    max_time: float = 0.0
+    last_time: float = 0.0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -95,6 +107,9 @@ class PhaseProfiler:
         st.exclusive_time += exclusive
         st.inclusive_time += inclusive
         st.calls += 1
+        st.min_time = min(st.min_time, inclusive)
+        st.max_time = max(st.max_time, inclusive)
+        st.last_time = inclusive
         if self._stack:
             self._stack[-1].child_time += inclusive
 
@@ -149,6 +164,10 @@ class PhaseProfiler:
             mine.exclusive_time += st.exclusive_time
             mine.inclusive_time += st.inclusive_time
             mine.calls += st.calls
+            mine.min_time = min(mine.min_time, st.min_time)
+            mine.max_time = max(mine.max_time, st.max_time)
+            if st.calls:
+                mine.last_time = st.last_time
         for name, n in other.counters.items():
             self.counters[name] = self.counters.get(name, 0) + n
 

@@ -70,6 +70,71 @@ def write_json_report(payload: Any, path: str) -> None:
         fh.write("\n")
 
 
+def render_rt_report(report: Dict[str, Any]) -> str:
+    """Human view of a ``run_rt`` report: per-condition latency table + SLO."""
+    rt = report["rt"]
+    header = (
+        f"rt {rt['kernel']} ({rt['stage']}): "
+        f"period {rt['period_ms']:.3g}ms, deadline {rt['deadline_ms']:.3g}ms, "
+        f"{rt['jobs']} jobs (+{rt['warmup']} warmup), overrun={rt['overrun']}"
+    )
+    if rt.get("calibrated"):
+        header += " [calibrated]"
+    if rt.get("smoke"):
+        header += " [smoke]"
+    rows = []
+    for condition, summary in report["conditions"].items():
+        response = summary["response_ms"]
+        rows.append(
+            [
+                condition,
+                f"{response['p50']:.3f}",
+                f"{response['p90']:.3f}",
+                f"{response['p99']:.3f}",
+                f"{response['max']:.3f}",
+                f"{summary['jitter_ms']['p99']:.3f}",
+                f"{summary['miss_rate']:.1%}",
+                str(summary["skipped_releases"]),
+            ]
+        )
+    lines = [
+        header,
+        format_table(
+            [
+                "condition",
+                "p50 (ms)",
+                "p90 (ms)",
+                "p99 (ms)",
+                "max (ms)",
+                "jitter p99",
+                "miss rate",
+                "skipped",
+            ],
+            rows,
+        ),
+    ]
+    degradation = report.get("degradation")
+    if degradation:
+        lines.append(
+            f"antagonists ({rt['antagonists']}x {rt['antagonist_kind']}): "
+            f"p50 {degradation['p50_ratio']:.2f}x, "
+            f"p99 {degradation['p99_ratio']:.2f}x, "
+            f"miss rate {degradation['miss_rate_delta']:+.1%}"
+        )
+    breakdown = report["conditions"]["unloaded"]["phase_breakdown"]
+    if breakdown.get("dominant"):
+        dominant = breakdown["phases"][breakdown["dominant"]]
+        lines.append(
+            f"dominant phase: {breakdown['dominant']} "
+            f"({dominant['share']:.0%}, per-job "
+            f"{dominant['min_ms']:.3f}..{dominant['max_ms']:.3f}ms)"
+        )
+    slo = report["slo"]
+    lines.append(f"SLO: {slo['verdict'].upper()}")
+    lines.extend(f"  - {reason}" for reason in slo["reasons"])
+    return "\n".join(lines)
+
+
 def render_suite_report(report: Dict[str, Any]) -> str:
     """Human view of a ``run_suite`` report: task table + wall-clock summary."""
     rows = []

@@ -40,6 +40,15 @@ class RecordingHooks:
 
     Useful in tests and experiments to verify ROI placement and to measure
     ROI-only execution time, mirroring how zsim reports only the ROI.
+
+    The begin/end pairing is hardened against imperfectly structured
+    markers: an end closes the *nearest* open ROI with the same name, so
+    same-name nesting closes innermost-first and interleaved regions
+    (``begin(a) begin(b) end(a) end(b)``) both record correct intervals
+    instead of raising on the first out-of-order end.  An end with no
+    matching begin anywhere still raises — silently dropping it would
+    corrupt ROI totals.  :meth:`open_rois` / :meth:`assert_balanced`
+    expose begins that were never closed.
     """
 
     def __init__(self) -> None:
@@ -54,17 +63,31 @@ class RecordingHooks:
         self._open.append((name, now))
 
     def on_roi_end(self, name: str) -> None:
-        """Record an ROI end event; closes the matching begin."""
+        """Record an ROI end event; closes the nearest matching begin."""
         now = time.perf_counter()
         self.events.append(("end", name, now))
-        if not self._open:
-            raise RuntimeError(f"roi_end({name!r}) without matching roi_begin")
-        open_name, start = self._open.pop()
-        if open_name != name:
+        for i in range(len(self._open) - 1, -1, -1):
+            open_name, start = self._open[i]
+            if open_name == name:
+                del self._open[i]
+                self.intervals.append((name, now - start))
+                return
+        open_names = [n for n, _ in self._open]
+        raise RuntimeError(
+            f"roi_end({name!r}) without matching roi_begin "
+            f"(open: {open_names or 'none'})"
+        )
+
+    def open_rois(self) -> List[str]:
+        """Names of ROIs begun but not yet ended, outermost first."""
+        return [name for name, _ in self._open]
+
+    def assert_balanced(self) -> None:
+        """Raise if any ROI is still open (a begin was never matched)."""
+        if self._open:
             raise RuntimeError(
-                f"mismatched ROI markers: begin({open_name!r}) closed by end({name!r})"
+                f"unbalanced ROI markers: still open {self.open_rois()}"
             )
-        self.intervals.append((name, now - start))
 
     def total_time(self, name: Optional[str] = None) -> float:
         """Total recorded ROI seconds, optionally filtered by ROI name."""

@@ -1,9 +1,10 @@
 """End-to-end suite execution (``rtrbench suite``).
 
-Runs the three suite-level workloads the paper reports — the Table I
-characterization of all 16 kernels, the hot-path perf bench, and the
-Fig. 21 scale comparison — as one flat task list dispatched through
-:func:`repro.harness.parallel.map_tasks`:
+Runs the suite-level workloads the paper reports — the Table I
+characterization of all 16 kernels, the hot-path perf bench, the
+Fig. 21 scale comparison — plus periodic real-time tasks for a fast
+kernel subset (:mod:`repro.rt`), as one flat task list dispatched
+through :func:`repro.harness.parallel.map_tasks`:
 
 * every kernel / bench phase / sweep point is an isolated task; one that
   raises or hangs becomes a failure row in the report while the rest of
@@ -23,6 +24,7 @@ setup time, cache hit/miss accounting, wall clocks, and worker count.
 
 from __future__ import annotations
 
+import fnmatch
 import hashlib
 import json
 import time
@@ -45,6 +47,13 @@ SUITE_FLOORS: Dict[str, float] = {
     "parallel_speedup": 2.0,
     "cache_hit_speedup": 5.0,
 }
+
+#: Kernels scheduled as periodic rt tasks alongside characterization.
+#: Fast kernels only — an rt task runs ``jobs`` full kernel iterations,
+#: and the suite's job is to exercise the rt pipeline, not to time every
+#: kernel twice; ``rtrbench rt`` covers the rest on demand.
+RT_SUITE_KERNELS = ("13.dmp", "15.cem", "16.bo")
+RT_SUITE_KERNELS_SMOKE = ("13.dmp", "15.cem")
 
 
 def _fingerprint(payload: Any) -> str:
@@ -103,6 +112,16 @@ def suite_tasks(
         }
         for scale in scales
     )
+    tasks.extend(
+        {
+            "section": "rt",
+            "name": f"rt:{kernel}",
+            "kernel": kernel,
+            "smoke": smoke,
+            "jobs": 8 if smoke else 25,
+        }
+        for kernel in (RT_SUITE_KERNELS_SMOKE if smoke else RT_SUITE_KERNELS)
+    )
     return tasks
 
 
@@ -148,6 +167,31 @@ def run_suite_task(task: Dict[str, Any]) -> Dict[str, Any]:
             "setup_s": 0.0,
             "fingerprint": _fingerprint(metrics["ops"]),
             "detail": metrics,
+        }
+    elif section == "rt":
+        from repro.rt.run import run_rt
+
+        report = run_rt(
+            task["kernel"],
+            period_ms=0,  # auto-calibrate: suite runs on unknown machines
+            jobs=task["jobs"],
+            smoke=task["smoke"],
+        )
+        unloaded = report["conditions"]["unloaded"]
+        payload = {
+            "roi_s": unloaded["busy_s"],
+            "setup_s": 0.0,
+            # Timing-only task: no deterministic counters to fingerprint.
+            "fingerprint": None,
+            "detail": {
+                "period_ms": report["rt"]["period_ms"],
+                "deadline_ms": report["rt"]["deadline_ms"],
+                "miss_rate": unloaded["miss_rate"],
+                "response_p50_ms": unloaded["response_ms"]["p50"],
+                "response_p99_ms": unloaded["response_ms"]["p99"],
+                "jitter_p99_ms": unloaded["jitter_ms"]["p99"],
+                "slo": report["slo"]["verdict"],
+            },
         }
     elif section == "fig21":
         from repro.experiments.fig21_comparison import run_fig21_point
@@ -233,6 +277,33 @@ def _aggregate_cache(rows: Sequence[Dict[str, Any]]) -> Dict[str, float]:
     return total
 
 
+def filter_tasks(
+    tasks: Sequence[Dict[str, Any]], pattern: Optional[str]
+) -> List[Dict[str, Any]]:
+    """Select tasks whose name matches a glob (``None`` keeps everything).
+
+    Matches the full task name (``characterize:04.pp2d``) and, for
+    convenience, the bare kernel/point suffix after the section colon —
+    so ``--filter 'rt:*'``, ``--filter '*pp2d*'`` and ``--filter pp2d``
+    all do what they look like.  Raises ``ValueError`` when the pattern
+    selects nothing, so a typo cannot silently run an empty suite.
+    """
+    if pattern is None:
+        return list(tasks)
+    selected = [
+        task
+        for task in tasks
+        if fnmatch.fnmatchcase(task["name"], pattern)
+        or fnmatch.fnmatchcase(task["name"].split(":", 1)[-1], pattern)
+    ]
+    if not selected:
+        names = ", ".join(t["name"] for t in tasks)
+        raise ValueError(
+            f"--filter {pattern!r} matches no suite tasks (have: {names})"
+        )
+    return selected
+
+
 def run_suite(
     jobs: int = 1,
     smoke: bool = False,
@@ -240,6 +311,7 @@ def run_suite(
     kernels: Optional[Sequence[str]] = None,
     timeout: Optional[float] = None,
     compare_serial: bool = True,
+    task_filter: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Run the whole suite and return the ``BENCH_suite.json`` payload.
 
@@ -248,8 +320,12 @@ def run_suite(
     and cross-checking task fingerprints between the passes.  The serial
     pass runs second, on a cache the parallel pass already warmed, so the
     recorded parallel speedup is a *conservative* lower bound.
+    ``task_filter`` selects a task subset by name glob (see
+    :func:`filter_tasks`).
     """
-    tasks = suite_tasks(smoke=smoke, seed=seed, kernels=kernels)
+    tasks = filter_tasks(
+        suite_tasks(smoke=smoke, seed=seed, kernels=kernels), task_filter
+    )
     names = [t["name"] for t in tasks]
     t0 = time.perf_counter()
     results = map_tasks(
@@ -287,6 +363,7 @@ def run_suite(
             "jobs": jobs,
             "smoke": smoke,
             "seed": seed,
+            "filter": task_filter,
             "task_count": len(tasks),
             "failures": sum(1 for row in rows if not row["ok"]),
             "wall_s": wall_s,

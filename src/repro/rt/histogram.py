@@ -1,0 +1,186 @@
+"""Mergeable log-bucketed latency histogram with exact quantiles.
+
+Latency distributions are heavy-tailed, so the usual fixed-width
+histogram either wastes buckets on the tail or loses the head.  This
+histogram uses HdrHistogram-style bucketing — power-of-two octaves split
+into linear sub-buckets, derived from :func:`math.frexp` so the mapping
+is exactly monotonic (no floating-point ``log`` boundary surprises) —
+but keeps the *raw samples* inside each bucket.  Recording stays O(1)
+append; quantiles walk the cumulative bucket counts to locate the target
+bucket and sort only that bucket, so ``quantile`` is **exact** (it
+returns a recorded sample, identical to indexing a fully sorted list)
+at far below full-sort cost for the common "one quantile sweep over a
+long run" pattern.
+
+Histograms with the same geometry merge bucket-wise, which is what the
+rt suite needs to fold per-condition or per-worker runs into one
+distribution.  Pure Python, no dependencies.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence
+
+#: Default smallest distinguishable latency (1 microsecond, in seconds).
+DEFAULT_MIN_VALUE = 1e-6
+
+#: Default linear sub-buckets per power-of-two octave (~12% resolution).
+DEFAULT_SUBBUCKETS = 8
+
+
+class LatencyHistogram:
+    """Log-bucketed histogram of non-negative values with exact quantiles.
+
+    ``min_value`` is the resolution floor: everything at or below it
+    lands in bucket 0.  Above it, bucket boundaries grow geometrically
+    (each power-of-two octave split into ``subbuckets`` linear slices).
+    Values are retained per bucket, so quantiles are exact; bucket
+    counts give a compact serializable shape for reports.
+    """
+
+    def __init__(
+        self,
+        min_value: float = DEFAULT_MIN_VALUE,
+        subbuckets: int = DEFAULT_SUBBUCKETS,
+    ) -> None:
+        if min_value <= 0.0:
+            raise ValueError("min_value must be positive")
+        if subbuckets < 1:
+            raise ValueError("subbuckets must be >= 1")
+        self.min_value = float(min_value)
+        self.subbuckets = int(subbuckets)
+        self._buckets: Dict[int, List[float]] = {}
+        self.count = 0
+        self.sum = 0.0
+        self.min: float = math.inf
+        self.max: float = 0.0
+
+    # -- bucketing ---------------------------------------------------------
+
+    def _index(self, value: float) -> int:
+        """Monotonic bucket index for ``value`` (0 = at/below the floor)."""
+        if value <= self.min_value:
+            return 0
+        mantissa, exponent = math.frexp(value / self.min_value)
+        # ratio >= 1 so exponent >= 1 and mantissa is in [0.5, 1).
+        sub = int((mantissa - 0.5) * 2.0 * self.subbuckets)
+        sub = min(sub, self.subbuckets - 1)
+        return 1 + (exponent - 1) * self.subbuckets + sub
+
+    def bucket_lower_bound(self, index: int) -> float:
+        """Smallest value that maps into bucket ``index``."""
+        if index <= 0:
+            return 0.0
+        octave, sub = divmod(index - 1, self.subbuckets)
+        width = 2.0 ** octave
+        return self.min_value * (width + sub * width / self.subbuckets)
+
+    # -- recording ---------------------------------------------------------
+
+    def record(self, value: float) -> None:
+        """Add one observation (must be >= 0)."""
+        value = float(value)
+        if value < 0.0 or math.isnan(value):
+            raise ValueError(f"cannot record {value!r} in a latency histogram")
+        self._buckets.setdefault(self._index(value), []).append(value)
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def record_many(self, values: Iterable[float]) -> None:
+        """Add a batch of observations."""
+        for value in values:
+            self.record(value)
+
+    # -- quantiles ---------------------------------------------------------
+
+    def quantile(self, q: float) -> float:
+        """Exact nearest-rank quantile: identical to sorting all samples.
+
+        ``q`` in [0, 1]; ``q=0`` is the minimum, ``q=1`` the maximum.
+        Only the bucket containing the target rank is sorted.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q!r} outside [0, 1]")
+        if self.count == 0:
+            raise ValueError("quantile of an empty histogram")
+        rank = max(1, math.ceil(q * self.count))  # 1-based nearest rank
+        seen = 0
+        for index in sorted(self._buckets):
+            bucket = self._buckets[index]
+            if rank <= seen + len(bucket):
+                return sorted(bucket)[rank - seen - 1]
+            seen += len(bucket)
+        raise AssertionError("rank walked past all buckets")  # pragma: no cover
+
+    def quantiles(self, qs: Sequence[float]) -> Dict[float, float]:
+        """Batch quantile lookup (one dict, keyed by the requested q)."""
+        return {q: self.quantile(q) for q in qs}
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all recorded values (0.0 when empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+    # -- merge / export ----------------------------------------------------
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold another histogram's samples into this one.
+
+        Requires identical geometry (``min_value`` and ``subbuckets``),
+        so bucket indices line up and the merge is a bucket-wise extend.
+        """
+        if (other.min_value, other.subbuckets) != (
+            self.min_value,
+            self.subbuckets,
+        ):
+            raise ValueError("cannot merge histograms with different geometry")
+        for index, bucket in other._buckets.items():
+            self._buckets.setdefault(index, []).extend(bucket)
+        self.count += other.count
+        self.sum += other.sum
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+    def summary(self, scale: float = 1.0) -> Dict[str, float]:
+        """Standard report block: count/mean/min/max + p50/p90/p99/p99.9.
+
+        ``scale`` multiplies every value on the way out (e.g. 1e3 to
+        report seconds as milliseconds).
+        """
+        if self.count == 0:
+            return {"count": 0}
+        qs = self.quantiles([0.5, 0.9, 0.99, 0.999])
+        return {
+            "count": self.count,
+            "mean": self.mean * scale,
+            "min": self.min * scale,
+            "p50": qs[0.5] * scale,
+            "p90": qs[0.9] * scale,
+            "p99": qs[0.99] * scale,
+            "p999": qs[0.999] * scale,
+            "max": self.max * scale,
+        }
+
+    def bucket_counts(self) -> Dict[float, int]:
+        """Lower-bound -> count view of the distribution's shape."""
+        return {
+            self.bucket_lower_bound(index): len(bucket)
+            for index, bucket in sorted(self._buckets.items())
+        }
+
+    @classmethod
+    def from_values(
+        cls,
+        values: Iterable[float],
+        min_value: float = DEFAULT_MIN_VALUE,
+        subbuckets: int = DEFAULT_SUBBUCKETS,
+    ) -> "LatencyHistogram":
+        """Build a histogram from an iterable in one call."""
+        hist = cls(min_value=min_value, subbuckets=subbuckets)
+        hist.record_many(values)
+        return hist

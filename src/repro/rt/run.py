@@ -1,0 +1,258 @@
+"""End-to-end real-time benchmarking (``rtrbench rt``, ``BENCH_rt.json``).
+
+Glue between the rt building blocks and the rest of the harness: resolve
+a kernel from the registry, run it as a periodic task through
+:class:`~repro.rt.scheduler.PeriodicScheduler` (each job is one
+``Kernel._run_once`` — the same setup + ROI + profiler path every other
+experiment uses), optionally repeat the run under antagonist load, and
+assemble the machine-readable report with latency quantiles, release
+jitter, deadline-miss rate, an SLO verdict, and a phase breakdown with
+per-phase min/max durations from the shared profiler stats.
+
+``check_rt_floors`` is the CI contract: outside smoke mode a failed SLO
+or an antagonist run that did *not* degrade latency fails the command.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Any, Dict, List, Optional
+
+from repro.harness.config import KernelConfig, rt_defaults
+from repro.harness.profiler import PhaseProfiler
+from repro.harness.runner import Kernel, load_all_kernels, registry
+from repro.rt.histogram import LatencyHistogram
+from repro.rt.interference import AntagonistPool
+from repro.rt.scheduler import PeriodicScheduler
+from repro.rt.slo import SLOPolicy, evaluate_slo, summarize_jobs
+
+#: Deadline-miss budget outside smoke mode (10% of jobs may miss).
+RT_DEFAULT_MAX_MISS_RATE = 0.1
+
+#: Smoke mode never fails on misses: CI machines are noisy and shared.
+RT_SMOKE_MAX_MISS_RATE = 1.0
+
+#: Auto-calibrated period = headroom x median job wall clock.
+CALIBRATION_HEADROOM = 2.0
+
+#: Floor for auto-calibrated periods (seconds).
+CALIBRATION_MIN_PERIOD_S = 1e-3
+
+
+def calibrate_period_s(
+    kernel: Kernel, config: KernelConfig, samples: int = 3
+) -> float:
+    """Measure unpaced job wall clock and pick a schedulable period.
+
+    One untimed run warms the workload cache, then the median of
+    ``samples`` timed runs (setup + ROI, exactly what a periodic job
+    costs) is scaled by :data:`CALIBRATION_HEADROOM` — a period the
+    unloaded machine can hold without being trivially loose.
+    """
+    import time
+
+    kernel._run_once(config)
+    walls = []
+    for _ in range(max(1, samples)):
+        t0 = time.monotonic()
+        kernel._run_once(config)
+        walls.append(time.monotonic() - t0)
+    return max(
+        CALIBRATION_MIN_PERIOD_S,
+        CALIBRATION_HEADROOM * statistics.median(walls),
+    )
+
+
+def _phase_block(profiler: PhaseProfiler) -> Dict[str, Any]:
+    """Aggregate phase breakdown with per-call min/max/last durations."""
+    fractions = profiler.fractions()
+    return {
+        "dominant": profiler.dominant_phase(),
+        "phases": {
+            name: {
+                "share": fractions[name],
+                "calls": st.calls,
+                "mean_ms": (
+                    st.inclusive_time / st.calls * 1e3 if st.calls else 0.0
+                ),
+                "min_ms": st.min_time * 1e3,
+                "max_ms": st.max_time * 1e3,
+                "last_ms": st.last_time * 1e3,
+            }
+            for name, st in profiler.stats.items()
+        },
+    }
+
+
+def run_condition(
+    kernel: Kernel,
+    config: KernelConfig,
+    period_s: float,
+    deadline_s: float,
+    jobs: int,
+    warmup: int = 0,
+    overrun: str = "skip",
+) -> Dict[str, Any]:
+    """One periodic run of ``kernel`` under the current machine condition."""
+    aggregate = PhaseProfiler()
+    roi_hist = LatencyHistogram()
+
+    def job(index: int) -> None:
+        result = kernel._run_once(config)
+        if index >= warmup:
+            aggregate.merge(result.profiler)
+            roi_hist.record(result.roi_time)
+
+    scheduler = PeriodicScheduler(
+        period_s=period_s, deadline_s=deadline_s, overrun=overrun
+    )
+    schedule = scheduler.run(job, jobs=jobs, warmup=warmup)
+    summary = summarize_jobs(
+        schedule.records, deadline_s, schedule.skipped_releases
+    )
+    summary["roi_ms"] = roi_hist.summary(scale=1e3)
+    summary["busy_s"] = sum(r.latency_s for r in schedule.measured())
+    summary["phase_breakdown"] = _phase_block(aggregate)
+    return summary
+
+
+def run_rt(
+    kernel: str,
+    period_ms: Optional[float] = None,
+    deadline_ms: Optional[float] = None,
+    jobs: Optional[int] = None,
+    warmup: Optional[int] = None,
+    overrun: str = "skip",
+    antagonists: int = 0,
+    antagonist_kind: str = "cpu",
+    smoke: bool = False,
+    max_miss_rate: Optional[float] = None,
+    config: Optional[KernelConfig] = None,
+    **overrides: Any,
+) -> Dict[str, Any]:
+    """Run a registered kernel as a periodic task; return the rt report.
+
+    ``period_ms=None`` takes the kernel's default from
+    :data:`repro.harness.config.RT_KERNEL_DEFAULTS`; ``period_ms=0``
+    auto-calibrates from warmup wall clock.  ``deadline_ms`` defaults to
+    the period (implicit deadline).  With ``antagonists > 0`` the run
+    executes twice — unloaded, then under the antagonist pool — and the
+    report records both conditions side by side with degradation ratios.
+    ``overrides`` patch the kernel's configuration, mirroring
+    ``rtrbench run`` flags.
+    """
+    load_all_kernels()
+    cls = registry.get(kernel)
+    instance = cls()
+    if config is None:
+        config = cls.config_cls(**overrides) if overrides else cls.config_cls()
+    elif overrides:
+        config = config.replace(**overrides)
+
+    jobs = (12 if smoke else 50) if jobs is None else int(jobs)
+    warmup = (1 if smoke else 3) if warmup is None else max(0, int(warmup))
+    defaults = rt_defaults(cls.name)
+    calibrated = False
+    if period_ms is None:
+        period_s = defaults.period_ms / 1e3
+    elif period_ms <= 0.0:
+        period_s = calibrate_period_s(instance, config)
+        calibrated = True
+    else:
+        period_s = period_ms / 1e3
+    if deadline_ms is None:
+        deadline_s = (
+            period_s
+            if calibrated or period_ms is not None
+            else defaults.resolved_deadline_ms() / 1e3
+        )
+    else:
+        deadline_s = deadline_ms / 1e3
+
+    conditions: Dict[str, Any] = {
+        "unloaded": run_condition(
+            instance,
+            config,
+            period_s,
+            deadline_s,
+            jobs=jobs,
+            warmup=warmup,
+            overrun=overrun,
+        )
+    }
+    degradation: Optional[Dict[str, float]] = None
+    if antagonists > 0:
+        with AntagonistPool(antagonists, kind=antagonist_kind):
+            loaded = run_condition(
+                instance,
+                config,
+                period_s,
+                deadline_s,
+                jobs=jobs,
+                warmup=warmup,
+                overrun=overrun,
+            )
+        loaded["antagonists"] = antagonists
+        loaded["antagonist_kind"] = antagonist_kind
+        conditions["loaded"] = loaded
+        base = conditions["unloaded"]["response_ms"]
+        under = loaded["response_ms"]
+        degradation = {
+            "p50_ratio": under["p50"] / base["p50"] if base["p50"] else 0.0,
+            "p99_ratio": under["p99"] / base["p99"] if base["p99"] else 0.0,
+            "miss_rate_delta": (
+                loaded["miss_rate"] - conditions["unloaded"]["miss_rate"]
+            ),
+        }
+
+    if max_miss_rate is None:
+        max_miss_rate = (
+            RT_SMOKE_MAX_MISS_RATE if smoke else RT_DEFAULT_MAX_MISS_RATE
+        )
+    policy = SLOPolicy(deadline_s=deadline_s, max_miss_rate=max_miss_rate)
+    verdict = evaluate_slo(conditions["unloaded"], policy)
+
+    return {
+        "rt": {
+            "kernel": cls.name,
+            "stage": cls.stage,
+            "period_ms": period_s * 1e3,
+            "deadline_ms": deadline_s * 1e3,
+            "jobs": jobs,
+            "warmup": warmup,
+            "overrun": overrun,
+            "smoke": smoke,
+            "calibrated": calibrated,
+            "antagonists": antagonists,
+            "antagonist_kind": antagonist_kind if antagonists else None,
+            "config": config.describe(),
+        },
+        "conditions": conditions,
+        "degradation": degradation,
+        "slo": {"policy": policy.as_dict(), **verdict.as_dict()},
+    }
+
+
+def check_rt_floors(report: Dict[str, Any]) -> List[str]:
+    """Machine-checkable violations for an rt report (empty = pass).
+
+    Smoke mode is exempt from every floor (shared CI machines cannot
+    promise deadlines *or* honest degradation ratios).  Otherwise the
+    unloaded SLO must pass, and an antagonist run must show p99 response
+    degradation > 1.0x — interference that changes nothing means the
+    antagonists never actually contended.
+    """
+    if report["rt"]["smoke"]:
+        return []
+    failures = []
+    if report["slo"]["verdict"] != "pass":
+        failures.extend(
+            f"slo: {reason}" for reason in report["slo"]["reasons"]
+        )
+    degradation = report.get("degradation")
+    if degradation is not None and degradation["p99_ratio"] <= 1.0:
+        failures.append(
+            f"interference: p99 ratio {degradation['p99_ratio']:.3f}x "
+            "under antagonist load (expected > 1.0x)"
+        )
+    return failures

@@ -1,0 +1,139 @@
+"""Deadline/SLO evaluation and report dataclasses.
+
+A periodic run produces a list of :class:`~repro.rt.scheduler.JobRecord`
+rows; this module turns them into the serving-style numbers the rt
+report leads with — response/latency quantiles, release-jitter stats,
+deadline-miss rate — and judges them against an :class:`SLOPolicy`.
+The verdict is machine-checkable (``rtrbench rt`` exits non-zero on a
+failed SLO outside smoke mode) and carries human-readable reasons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.rt.histogram import LatencyHistogram
+from repro.rt.scheduler import JobRecord
+
+
+@dataclass
+class SLOPolicy:
+    """What a run must achieve to pass.
+
+    ``deadline_s`` classifies each job; ``max_miss_rate`` bounds the
+    fraction of jobs allowed to miss (inclusive — a run exactly at the
+    bound passes); ``max_p99_response_s`` optionally bounds the p99
+    response time; ``max_skip_rate`` bounds skipped releases per
+    measured job under the "skip" overrun policy.
+    """
+
+    deadline_s: float
+    max_miss_rate: float = 0.0
+    max_p99_response_s: Optional[float] = None
+    max_skip_rate: Optional[float] = None
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-dict view for JSON reports."""
+        return {
+            "deadline_ms": self.deadline_s * 1e3,
+            "max_miss_rate": self.max_miss_rate,
+            "max_p99_response_ms": (
+                None
+                if self.max_p99_response_s is None
+                else self.max_p99_response_s * 1e3
+            ),
+            "max_skip_rate": self.max_skip_rate,
+        }
+
+
+@dataclass
+class SLOVerdict:
+    """Outcome of judging one run against a policy."""
+
+    passed: bool
+    reasons: List[str] = field(default_factory=list)
+
+    @property
+    def verdict(self) -> str:
+        """``"pass"`` or ``"fail"``, the report's headline string."""
+        return "pass" if self.passed else "fail"
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-dict view for JSON reports."""
+        return {"verdict": self.verdict, "reasons": list(self.reasons)}
+
+
+def summarize_jobs(
+    records: Sequence[JobRecord],
+    deadline_s: float,
+    skipped_releases: int = 0,
+) -> Dict[str, Any]:
+    """Distill job records into the rt report's summary block.
+
+    Warmup records are excluded.  Times are reported in milliseconds
+    (the natural unit at robot control rates); jitter is summarized by
+    mean/absolute-max/p99 of the release-time error.
+    """
+    measured = [r for r in records if not r.warmup]
+    if not measured:
+        return {"jobs": 0}
+    response = LatencyHistogram.from_values(r.response_s for r in measured)
+    latency = LatencyHistogram.from_values(r.latency_s for r in measured)
+    # Jitter can be negative only by clock quirks; clamp for the histogram
+    # but keep the signed mean.
+    jitter_values = [max(0.0, r.jitter_s) for r in measured]
+    jitter = LatencyHistogram.from_values(jitter_values)
+    misses = sum(1 for r in measured if not r.met_deadline(deadline_s))
+    return {
+        "jobs": len(measured),
+        "deadline_ms": deadline_s * 1e3,
+        "misses": misses,
+        "miss_rate": misses / len(measured),
+        "skipped_releases": skipped_releases,
+        "skip_rate": skipped_releases / len(measured),
+        "response_ms": response.summary(scale=1e3),
+        "latency_ms": latency.summary(scale=1e3),
+        "jitter_ms": {
+            "mean": sum(r.jitter_s for r in measured) / len(measured) * 1e3,
+            "p99": jitter.quantile(0.99) * 1e3,
+            "max": jitter.max * 1e3,
+        },
+    }
+
+
+def evaluate_slo(
+    summary: Dict[str, Any], policy: SLOPolicy
+) -> SLOVerdict:
+    """Judge a :func:`summarize_jobs` summary against ``policy``.
+
+    Bounds are inclusive: a run exactly at ``max_miss_rate`` (or exactly
+    at the p99/skip bound) passes.  An empty run fails — no evidence is
+    not a met SLO.
+    """
+    reasons: List[str] = []
+    if not summary.get("jobs"):
+        return SLOVerdict(passed=False, reasons=["no measured jobs"])
+    miss_rate = summary["miss_rate"]
+    if miss_rate > policy.max_miss_rate:
+        reasons.append(
+            f"miss rate {miss_rate:.3f} exceeds bound "
+            f"{policy.max_miss_rate:.3f} "
+            f"({summary['misses']}/{summary['jobs']} jobs past the "
+            f"{policy.deadline_s * 1e3:.3g}ms deadline)"
+        )
+    if policy.max_p99_response_s is not None:
+        p99_s = summary["response_ms"]["p99"] / 1e3
+        if p99_s > policy.max_p99_response_s:
+            reasons.append(
+                f"p99 response {p99_s * 1e3:.3f}ms exceeds bound "
+                f"{policy.max_p99_response_s * 1e3:.3f}ms"
+            )
+    if policy.max_skip_rate is not None:
+        skip_rate = summary.get("skip_rate", 0.0)
+        if skip_rate > policy.max_skip_rate:
+            reasons.append(
+                f"skip rate {skip_rate:.3f} exceeds bound "
+                f"{policy.max_skip_rate:.3f}"
+            )
+    return SLOVerdict(passed=not reasons, reasons=reasons)

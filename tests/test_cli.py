@@ -181,3 +181,70 @@ def test_suite_smoke_writes_report(tmp_path, capsys):
     assert any(
         row["task"].startswith("characterize:") for row in report["tasks"]
     )
+    assert any(
+        row["task"].startswith("rt:") for row in report["tasks"]
+    )
+
+
+def test_suite_filter_selects_task_subset(tmp_path, capsys):
+    target = tmp_path / "BENCH_suite.json"
+    code = main(
+        ["suite", "--smoke", "--filter", "characterize:15.cem",
+         "--output", str(target), "--no-serial-compare"]
+    )
+    assert code == 0
+    report = json.loads(target.read_text())
+    assert report["suite"]["filter"] == "characterize:15.cem"
+    assert [row["task"] for row in report["tasks"]] == [
+        "characterize:15.cem"
+    ]
+
+
+def test_suite_filter_with_no_match_errors(capsys):
+    code = main(["suite", "--smoke", "--filter", "no-such-task-*"])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "matches no suite tasks" in err
+
+
+@pytest.fixture
+def isolated_cache(tmp_path):
+    """Point the process-wide workload cache at a private temp directory."""
+    from repro.envs.cache import WorkloadCache, set_default_cache
+
+    cache = WorkloadCache(cache_dir=str(tmp_path / "cache"))
+    set_default_cache(cache)
+    yield cache
+    set_default_cache(None)
+
+
+def test_cache_stats_reports_dir_and_usage(isolated_cache, capsys):
+    isolated_cache.get_or_build("toy", {"n": 1}, lambda: list(range(100)))
+    assert main(["cache"]) == 0
+    out = capsys.readouterr().out
+    assert f"cache dir: {isolated_cache.cache_dir}" in out
+    assert "entries: 1" in out
+    assert "misses" in out
+
+
+def test_cache_clear_empties_disk_layer(isolated_cache, capsys):
+    isolated_cache.get_or_build("toy", {"n": 1}, lambda: "payload")
+    isolated_cache.get_or_build("toy", {"n": 2}, lambda: "payload")
+    assert isolated_cache.disk_stats()["entries"] == 2
+    assert main(["cache", "clear"]) == 0
+    out = capsys.readouterr().out
+    assert "cleared 2 entries" in out
+    assert isolated_cache.disk_stats()["entries"] == 0
+
+
+def test_cache_clear_memory_only_keeps_disk(isolated_cache, capsys):
+    isolated_cache.get_or_build("toy", {"n": 1}, lambda: "payload")
+    assert main(["cache", "clear", "--memory-only"]) == 0
+    out = capsys.readouterr().out
+    assert "cleared 0 entries" in out
+    assert isolated_cache.disk_stats()["entries"] == 1
+    # The kept disk entry still serves hits after the memory drop.
+    hit = isolated_cache.get_or_build(
+        "toy", {"n": 1}, lambda: pytest.fail("should have hit disk")
+    )
+    assert hit == "payload"

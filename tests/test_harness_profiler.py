@@ -176,6 +176,68 @@ def test_total_time_sums_exclusive():
     assert prof.total_time() == pytest.approx(3.0)
 
 
+def test_per_call_min_max_last_track_inclusive_durations():
+    clock = _FakeClock()
+    prof = PhaseProfiler(clock=clock)
+    for dt in (2.0, 5.0, 3.0):
+        with prof.phase("loop"):
+            clock.advance(dt)
+    st = prof.stats["loop"]
+    assert st.min_time == pytest.approx(2.0)
+    assert st.max_time == pytest.approx(5.0)
+    assert st.last_time == pytest.approx(3.0)
+
+
+def test_min_max_use_inclusive_not_exclusive_time():
+    clock = _FakeClock()
+    prof = PhaseProfiler(clock=clock)
+    with prof.phase("outer"):
+        clock.advance(1.0)
+        with prof.phase("inner"):
+            clock.advance(3.0)
+    # The outer call lasted 4s inclusive even though only 1s is exclusive.
+    assert prof.stats["outer"].min_time == pytest.approx(4.0)
+    assert prof.stats["outer"].max_time == pytest.approx(4.0)
+    assert prof.stats["outer"].last_time == pytest.approx(4.0)
+
+
+def test_min_time_is_inf_before_any_call():
+    from repro.harness.profiler import PhaseStats
+
+    st = PhaseStats("fresh")
+    assert st.min_time == float("inf")
+    assert st.max_time == 0.0
+    assert st.last_time == 0.0
+
+
+def test_merge_combines_min_max_and_takes_others_last():
+    clock = _FakeClock()
+    a = PhaseProfiler(clock=clock)
+    with a.phase("x"):
+        clock.advance(4.0)
+    b = PhaseProfiler(clock=clock)
+    for dt in (1.0, 9.0):
+        with b.phase("x"):
+            clock.advance(dt)
+    a.merge(b)
+    st = a.stats["x"]
+    assert st.min_time == pytest.approx(1.0)
+    assert st.max_time == pytest.approx(9.0)
+    assert st.last_time == pytest.approx(9.0)  # other ran most recently
+    assert st.calls == 3
+
+
+def test_merge_with_empty_other_keeps_last_time():
+    clock = _FakeClock()
+    a = PhaseProfiler(clock=clock)
+    with a.phase("x"):
+        clock.advance(2.0)
+    b = PhaseProfiler(clock=clock)  # never ran phase "x"
+    a.merge(b)
+    assert a.stats["x"].last_time == pytest.approx(2.0)
+    assert a.stats["x"].min_time == pytest.approx(2.0)
+
+
 def test_fraction_on_profiler_that_never_ran():
     """A fresh profiler (no phases at all) reports 0.0, not an error."""
     prof = PhaseProfiler()

@@ -39,12 +39,14 @@ def test_recording_hooks_nested_rois():
     assert names == ["inner", "outer"]
 
 
-def test_recording_hooks_mismatch_raises():
+def test_recording_hooks_end_with_no_matching_begin_raises():
     rec = RecordingHooks()
     set_hooks(rec)
     roi_begin("a")
-    with pytest.raises(RuntimeError, match="mismatched"):
+    with pytest.raises(RuntimeError, match="without matching"):
         roi_end("b")
+    # "a" is still open; the error message names it.
+    assert rec.open_rois() == ["a"]
     # Clean up the dangling ROI for the autouse fixture.
     set_hooks(None)
 
@@ -54,6 +56,55 @@ def test_recording_hooks_end_without_begin_raises():
     set_hooks(rec)
     with pytest.raises(RuntimeError, match="without matching"):
         roi_end("orphan")
+
+
+def test_recording_hooks_interleaved_pairs():
+    """begin(a) begin(b) end(a) end(b) records both intervals correctly."""
+    rec = RecordingHooks()
+    set_hooks(rec)
+    roi_begin("a")
+    roi_begin("b")
+    roi_end("a")
+    roi_end("b")
+    names = [n for n, _ in rec.intervals]
+    assert names == ["a", "b"]
+    assert all(dt >= 0.0 for _, dt in rec.intervals)
+    rec.assert_balanced()
+
+
+def test_recording_hooks_same_name_nesting_closes_innermost_first():
+    rec = RecordingHooks()
+    set_hooks(rec)
+    roi_begin("k")
+    roi_begin("k")
+    roi_end("k")  # closes the inner (most recent) begin
+    assert rec.open_rois() == ["k"]
+    roi_end("k")
+    assert rec.open_rois() == []
+    assert len(rec.intervals) == 2
+    # Inner interval recorded first and is no longer than the outer one.
+    assert rec.intervals[0][1] <= rec.intervals[1][1]
+
+
+def test_open_rois_reports_outermost_first():
+    rec = RecordingHooks()
+    set_hooks(rec)
+    roi_begin("outer")
+    roi_begin("inner")
+    assert rec.open_rois() == ["outer", "inner"]
+    roi_end("inner")
+    roi_end("outer")
+    assert rec.open_rois() == []
+
+
+def test_assert_balanced_raises_on_dangling_begin():
+    rec = RecordingHooks()
+    set_hooks(rec)
+    roi_begin("leak")
+    with pytest.raises(RuntimeError, match="leak"):
+        rec.assert_balanced()
+    roi_end("leak")
+    rec.assert_balanced()  # now clean
 
 
 def test_total_time_filters_by_name():

@@ -5,9 +5,11 @@ from __future__ import annotations
 import pytest
 
 from repro.harness.suite import (
+    RT_SUITE_KERNELS_SMOKE,
     SMOKE_KERNELS,
     SUITE_FLOORS,
     check_suite_floors,
+    filter_tasks,
     run_suite,
     suite_tasks,
 )
@@ -19,11 +21,42 @@ FAST_KERNELS = ("11.sym-blkw", "13.dmp", "15.cem")
 def test_suite_tasks_cover_all_sections():
     tasks = suite_tasks(smoke=True)
     sections = {t["section"] for t in tasks}
-    assert sections == {"characterize", "bench", "fig21"}
+    assert sections == {"characterize", "bench", "fig21", "rt"}
     names = [t["name"] for t in tasks]
     assert len(names) == len(set(names))
     for kernel in SMOKE_KERNELS:
         assert f"characterize:{kernel}" in names
+    for kernel in RT_SUITE_KERNELS_SMOKE:
+        assert f"rt:{kernel}" in names
+
+
+def test_filter_tasks_by_full_name_glob():
+    tasks = suite_tasks(smoke=True)
+    selected = filter_tasks(tasks, "rt:*")
+    assert selected
+    assert all(t["section"] == "rt" for t in selected)
+
+
+def test_filter_tasks_matches_suffix_after_colon():
+    tasks = suite_tasks(smoke=True)
+    selected = filter_tasks(tasks, "15.cem")
+    names = {t["name"] for t in selected}
+    assert names == {"characterize:15.cem", "rt:15.cem"}
+
+
+def test_filter_tasks_none_keeps_everything():
+    tasks = suite_tasks(smoke=True)
+    assert filter_tasks(tasks, None) == list(tasks)
+
+
+def test_filter_tasks_no_match_raises_with_name_list():
+    tasks = suite_tasks(smoke=True)
+    with pytest.raises(ValueError, match="matches no suite tasks"):
+        filter_tasks(tasks, "nonexistent-*")
+    try:
+        filter_tasks(tasks, "zzz")
+    except ValueError as exc:
+        assert "characterize:" in str(exc)  # lists the available names
 
 
 def test_suite_tasks_seeds_are_content_derived():

@@ -1,0 +1,163 @@
+"""Tests for the rt latency histogram: exactness, merging, bucketing."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.rt.histogram import LatencyHistogram
+
+
+def _oracle_quantile(values, q):
+    """Nearest-rank quantile of a fully sorted list (the ground truth)."""
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+QUANTILES = (0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0)
+
+
+def test_quantiles_match_sorted_oracle_lognormal():
+    rng = random.Random(42)
+    values = [rng.lognormvariate(-7.0, 2.0) for _ in range(5000)]
+    hist = LatencyHistogram.from_values(values)
+    for q in QUANTILES:
+        assert hist.quantile(q) == _oracle_quantile(values, q), q
+
+
+def test_quantiles_match_sorted_oracle_uniform_and_heavy_tail():
+    rng = random.Random(7)
+    values = [rng.uniform(1e-6, 1e-3) for _ in range(997)]
+    values += [rng.uniform(0.5, 50.0) for _ in range(13)]  # far tail
+    hist = LatencyHistogram.from_values(values)
+    for q in QUANTILES:
+        assert hist.quantile(q) == _oracle_quantile(values, q), q
+
+
+def test_quantile_edge_ranks():
+    hist = LatencyHistogram.from_values([3.0, 1.0, 2.0])
+    assert hist.quantile(0.0) == 1.0
+    assert hist.quantile(1.0) == 3.0
+    assert hist.quantile(0.5) == 2.0
+
+
+def test_single_value_all_quantiles():
+    hist = LatencyHistogram.from_values([0.25])
+    for q in QUANTILES:
+        assert hist.quantile(q) == 0.25
+
+
+def test_min_max_mean_sum_count():
+    hist = LatencyHistogram.from_values([0.1, 0.2, 0.3, 0.4])
+    assert hist.count == 4
+    assert hist.min == 0.1
+    assert hist.max == 0.4
+    assert hist.sum == pytest.approx(1.0)
+    assert hist.mean == pytest.approx(0.25)
+
+
+def test_values_at_or_below_floor_land_in_bucket_zero():
+    hist = LatencyHistogram(min_value=1e-6)
+    hist.record(0.0)
+    hist.record(1e-9)
+    assert hist.count == 2
+    assert hist.quantile(1.0) == 1e-9
+
+
+def test_bucket_index_is_monotonic():
+    """Sorted inputs must map to non-decreasing bucket indices."""
+    hist = LatencyHistogram()
+    rng = random.Random(3)
+    values = sorted(rng.lognormvariate(-8.0, 3.0) for _ in range(2000))
+    indices = [hist._index(v) for v in values]
+    assert indices == sorted(indices)
+
+
+def test_bucket_lower_bound_brackets_members():
+    hist = LatencyHistogram()
+    rng = random.Random(5)
+    for _ in range(500):
+        value = rng.lognormvariate(-6.0, 2.0)
+        index = hist._index(value)
+        assert hist.bucket_lower_bound(index) <= value
+        assert value < hist.bucket_lower_bound(index + 1) or index == 0
+
+
+def test_merge_equals_recording_everything_in_one():
+    rng = random.Random(11)
+    a_values = [rng.expovariate(1000.0) for _ in range(700)]
+    b_values = [rng.expovariate(10.0) for _ in range(300)]
+    a = LatencyHistogram.from_values(a_values)
+    b = LatencyHistogram.from_values(b_values)
+    a.merge(b)
+    combined = LatencyHistogram.from_values(a_values + b_values)
+    assert a.count == combined.count
+    assert a.min == combined.min
+    assert a.max == combined.max
+    assert a.sum == pytest.approx(combined.sum)
+    for q in QUANTILES:
+        assert a.quantile(q) == combined.quantile(q), q
+
+
+def test_merge_rejects_different_geometry():
+    a = LatencyHistogram(min_value=1e-6)
+    b = LatencyHistogram(min_value=1e-3)
+    with pytest.raises(ValueError, match="geometry"):
+        a.merge(b)
+
+
+def test_empty_histogram_behavior():
+    hist = LatencyHistogram()
+    assert hist.count == 0
+    assert hist.mean == 0.0
+    assert hist.summary() == {"count": 0}
+    with pytest.raises(ValueError, match="empty"):
+        hist.quantile(0.5)
+
+
+def test_record_rejects_negative_and_nan():
+    hist = LatencyHistogram()
+    with pytest.raises(ValueError):
+        hist.record(-1.0)
+    with pytest.raises(ValueError):
+        hist.record(float("nan"))
+
+
+def test_quantile_rejects_out_of_range_q():
+    hist = LatencyHistogram.from_values([1.0])
+    with pytest.raises(ValueError):
+        hist.quantile(1.5)
+    with pytest.raises(ValueError):
+        hist.quantile(-0.1)
+
+
+def test_summary_scale_converts_units():
+    hist = LatencyHistogram.from_values([0.001, 0.002])
+    summary = hist.summary(scale=1e3)
+    assert summary["min"] == pytest.approx(1.0)
+    assert summary["max"] == pytest.approx(2.0)
+    assert summary["count"] == 2
+    assert set(summary) == {
+        "count", "mean", "min", "p50", "p90", "p99", "p999", "max"
+    }
+
+
+def test_bucket_counts_sum_to_count():
+    rng = random.Random(13)
+    hist = LatencyHistogram.from_values(
+        rng.lognormvariate(-7.0, 1.5) for _ in range(400)
+    )
+    counts = hist.bucket_counts()
+    assert sum(counts.values()) == hist.count
+    bounds = list(counts)
+    assert bounds == sorted(bounds)
+
+
+def test_invalid_construction():
+    with pytest.raises(ValueError):
+        LatencyHistogram(min_value=0.0)
+    with pytest.raises(ValueError):
+        LatencyHistogram(subbuckets=0)

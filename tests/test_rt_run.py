@@ -1,0 +1,227 @@
+"""End-to-end tests for ``run_rt``, the antagonist pool, and the rt CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.harness.cli import main
+from repro.rt.interference import AntagonistPool
+from repro.rt.run import check_rt_floors, run_rt
+
+#: Tiny cem configuration: sub-millisecond jobs keep these tests fast.
+CEM_OVERRIDES = dict(iterations=1, samples=3)
+
+
+@pytest.fixture(scope="module")
+def smoke_report():
+    """One shared smoke run of cem as a 5ms periodic task."""
+    return run_rt(
+        "cem",
+        period_ms=5.0,
+        jobs=8,
+        warmup=1,
+        smoke=True,
+        **CEM_OVERRIDES,
+    )
+
+
+def test_report_header_block(smoke_report):
+    rt = smoke_report["rt"]
+    assert rt["kernel"] == "15.cem"
+    assert rt["stage"] == "control"
+    assert rt["period_ms"] == pytest.approx(5.0)
+    assert rt["deadline_ms"] == pytest.approx(5.0)  # defaults to the period
+    assert rt["jobs"] == 8
+    assert rt["smoke"] is True
+    assert not rt["calibrated"]
+
+
+def test_report_has_quantiles_jitter_miss_rate_and_verdict(smoke_report):
+    unloaded = smoke_report["conditions"]["unloaded"]
+    assert unloaded["jobs"] == 8
+    for block in ("response_ms", "latency_ms", "roi_ms"):
+        assert unloaded[block]["count"] == 8
+        assert (
+            unloaded[block]["p50"]
+            <= unloaded[block]["p99"]
+            <= unloaded[block]["max"]
+        )
+    assert 0.0 <= unloaded["miss_rate"] <= 1.0
+    assert unloaded["jitter_ms"]["max"] >= 0.0
+    assert smoke_report["slo"]["verdict"] in ("pass", "fail")
+    assert smoke_report["degradation"] is None
+
+
+def test_report_phase_breakdown_uses_shared_profiler_stats(smoke_report):
+    breakdown = smoke_report["conditions"]["unloaded"]["phase_breakdown"]
+    assert breakdown["dominant"] in breakdown["phases"]
+    for stats in breakdown["phases"].values():
+        assert stats["calls"] == 8
+        assert stats["min_ms"] <= stats["mean_ms"] <= stats["max_ms"]
+    assert sum(s["share"] for s in breakdown["phases"].values()) == (
+        pytest.approx(1.0)
+    )
+
+
+def test_smoke_reports_are_floor_exempt(smoke_report):
+    assert check_rt_floors(smoke_report) == []
+
+
+def test_default_period_comes_from_config_table():
+    from repro.harness.config import rt_defaults
+
+    report = run_rt(
+        "cem", jobs=2, warmup=0, smoke=True, **CEM_OVERRIDES
+    )
+    assert report["rt"]["period_ms"] == pytest.approx(
+        rt_defaults("15.cem").period_ms
+    )
+
+
+def test_zero_period_auto_calibrates():
+    report = run_rt(
+        "cem", period_ms=0, jobs=2, warmup=0, smoke=True, **CEM_OVERRIDES
+    )
+    assert report["rt"]["calibrated"]
+    assert report["rt"]["period_ms"] > 0.0
+
+
+def test_check_rt_floors_flags_failed_slo():
+    report = run_rt(
+        "cem",
+        period_ms=5.0,
+        deadline_ms=0.0001,  # impossible deadline: every job misses
+        jobs=3,
+        warmup=0,
+        smoke=False,
+        **CEM_OVERRIDES,
+    )
+    assert report["conditions"]["unloaded"]["miss_rate"] == 1.0
+    assert report["slo"]["verdict"] == "fail"
+    failures = check_rt_floors(report)
+    assert any("miss rate" in f for f in failures)
+
+
+def test_check_rt_floors_flags_non_degrading_interference():
+    report = {
+        "rt": {"smoke": False},
+        "slo": {"verdict": "pass", "reasons": []},
+        "degradation": {"p50_ratio": 1.0, "p99_ratio": 0.98,
+                        "miss_rate_delta": 0.0},
+    }
+    failures = check_rt_floors(report)
+    assert any("interference" in f for f in failures)
+
+
+def test_unknown_kernel_raises():
+    with pytest.raises(KeyError):
+        run_rt("no-such-kernel", jobs=1, smoke=True)
+
+
+# -- interference --------------------------------------------------------------
+
+
+@pytest.mark.parametrize("kind", ["cpu", "membw", "mixed"])
+def test_antagonist_pool_starts_and_stops(kind):
+    pool = AntagonistPool(2, kind=kind)
+    try:
+        pool.start()
+        assert pool.alive_count() == 2
+    finally:
+        pool.stop()
+    assert pool.alive_count() == 0
+
+
+def test_antagonist_pool_context_manager():
+    with AntagonistPool(1, kind="cpu") as pool:
+        assert pool.alive_count() == 1
+    assert pool.alive_count() == 0
+
+
+def test_antagonist_pool_zero_count_is_noop():
+    with AntagonistPool(0) as pool:
+        assert pool.alive_count() == 0
+
+
+def test_antagonist_pool_rejects_bad_arguments():
+    with pytest.raises(ValueError, match="kind"):
+        AntagonistPool(1, kind="quantum")
+    with pytest.raises(ValueError, match="count"):
+        AntagonistPool(-1)
+
+
+def test_run_rt_with_antagonists_records_both_conditions():
+    report = run_rt(
+        "cem",
+        period_ms=2.0,
+        jobs=6,
+        warmup=1,
+        antagonists=1,
+        antagonist_kind="cpu",
+        smoke=True,
+        **CEM_OVERRIDES,
+    )
+    assert set(report["conditions"]) == {"unloaded", "loaded"}
+    assert report["conditions"]["loaded"]["antagonists"] == 1
+    degradation = report["degradation"]
+    assert degradation is not None
+    assert degradation["p99_ratio"] > 0.0
+    assert "miss_rate_delta" in degradation
+
+
+# -- CLI -----------------------------------------------------------------------
+
+
+def test_cli_rt_smoke_end_to_end(tmp_path, capsys):
+    target = tmp_path / "BENCH_rt.json"
+    code = main(
+        [
+            "rt", "cem", "--smoke", "--jobs", "5", "--period-ms", "5",
+            "--deadline-ms", "5", "--output", str(target),
+            "--iterations", "1", "--samples", "3",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "rt 15.cem" in out
+    assert "SLO:" in out
+    report = json.loads(target.read_text())
+    assert set(report) == {"rt", "conditions", "degradation", "slo"}
+    unloaded = report["conditions"]["unloaded"]
+    for key in ("p50", "p99", "max"):
+        assert key in unloaded["response_ms"]
+    assert "jitter_ms" in unloaded
+    assert "miss_rate" in unloaded
+    assert report["slo"]["verdict"] in ("pass", "fail")
+
+
+def test_cli_rt_unknown_kernel_errors(capsys):
+    assert main(["rt", "doesnotexist"]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_cli_rt_impossible_deadline_fails_floors(tmp_path, capsys):
+    code = main(
+        [
+            "rt", "cem", "--jobs", "3", "--warmup", "0",
+            "--period-ms", "5", "--deadline-ms", "0.0001",
+            "--output", str(tmp_path / "r.json"),
+            "--iterations", "1", "--samples", "3",
+        ]
+    )
+    assert code == 1
+    assert "RT VIOLATION" in capsys.readouterr().err
+
+
+def test_cli_rt_no_check_suppresses_floor_exit(tmp_path):
+    code = main(
+        [
+            "rt", "cem", "--jobs", "3", "--warmup", "0",
+            "--period-ms", "5", "--deadline-ms", "0.0001", "--no-check",
+            "--output", str(tmp_path / "r.json"),
+            "--iterations", "1", "--samples", "3",
+        ]
+    )
+    assert code == 0

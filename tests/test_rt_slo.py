@@ -1,0 +1,133 @@
+"""Tests for SLO summarization and verdict boundaries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rt.scheduler import JobRecord
+from repro.rt.slo import SLOPolicy, evaluate_slo, summarize_jobs
+
+
+def _records(responses, period=10.0):
+    """Synthesize on-grid job records with the given response times."""
+    return [
+        JobRecord(
+            index=i,
+            release_s=i * period,
+            start_s=i * period,
+            end_s=i * period + response,
+        )
+        for i, response in enumerate(responses)
+    ]
+
+
+def test_summarize_counts_misses_and_quantiles():
+    records = _records([1.0, 2.0, 3.0, 12.0])
+    summary = summarize_jobs(records, deadline_s=10.0, skipped_releases=3)
+    assert summary["jobs"] == 4
+    assert summary["misses"] == 1
+    assert summary["miss_rate"] == pytest.approx(0.25)
+    assert summary["skipped_releases"] == 3
+    assert summary["skip_rate"] == pytest.approx(0.75)
+    assert summary["response_ms"]["max"] == pytest.approx(12_000.0)
+    assert summary["response_ms"]["p50"] == pytest.approx(2_000.0)
+    assert summary["deadline_ms"] == pytest.approx(10_000.0)
+
+
+def test_summarize_excludes_warmup():
+    records = _records([100.0, 1.0, 1.0])
+    records[0].warmup = True
+    summary = summarize_jobs(records, deadline_s=10.0)
+    assert summary["jobs"] == 2
+    assert summary["misses"] == 0
+
+
+def test_summarize_jitter_block():
+    records = [
+        JobRecord(index=0, release_s=0.0, start_s=0.002, end_s=0.01),
+        JobRecord(index=1, release_s=0.1, start_s=0.1, end_s=0.11),
+    ]
+    summary = summarize_jobs(records, deadline_s=1.0)
+    assert summary["jitter_ms"]["max"] == pytest.approx(2.0)
+    assert summary["jitter_ms"]["mean"] == pytest.approx(1.0)
+
+
+def test_empty_records_summary_and_verdict():
+    summary = summarize_jobs([], deadline_s=1.0)
+    assert summary == {"jobs": 0}
+    verdict = evaluate_slo(summary, SLOPolicy(deadline_s=1.0))
+    assert not verdict.passed
+    assert verdict.verdict == "fail"
+    assert "no measured jobs" in verdict.reasons[0]
+
+
+def test_miss_rate_bound_is_inclusive():
+    records = _records([1.0, 1.0, 1.0, 12.0])  # 25% miss at deadline 10
+    summary = summarize_jobs(records, deadline_s=10.0)
+    at_bound = SLOPolicy(deadline_s=10.0, max_miss_rate=0.25)
+    assert evaluate_slo(summary, at_bound).passed
+    below_bound = SLOPolicy(deadline_s=10.0, max_miss_rate=0.249)
+    verdict = evaluate_slo(summary, below_bound)
+    assert not verdict.passed
+    assert "miss rate" in verdict.reasons[0]
+
+
+def test_zero_miss_policy_passes_clean_run():
+    summary = summarize_jobs(_records([1.0, 2.0]), deadline_s=10.0)
+    verdict = evaluate_slo(summary, SLOPolicy(deadline_s=10.0))
+    assert verdict.passed
+    assert verdict.reasons == []
+    assert verdict.as_dict() == {"verdict": "pass", "reasons": []}
+
+
+def test_p99_response_bound():
+    records = _records([1.0] * 98 + [50.0, 50.0])
+    summary = summarize_jobs(records, deadline_s=100.0)
+    tight = SLOPolicy(
+        deadline_s=100.0, max_miss_rate=1.0, max_p99_response_s=10.0
+    )
+    verdict = evaluate_slo(summary, tight)
+    assert not verdict.passed
+    assert "p99 response" in verdict.reasons[0]
+    loose = SLOPolicy(
+        deadline_s=100.0, max_miss_rate=1.0, max_p99_response_s=50.0
+    )
+    assert evaluate_slo(summary, loose).passed  # inclusive bound
+
+
+def test_skip_rate_bound():
+    records = _records([1.0, 1.0])
+    summary = summarize_jobs(records, deadline_s=10.0, skipped_releases=4)
+    policy = SLOPolicy(
+        deadline_s=10.0, max_miss_rate=1.0, max_skip_rate=1.0
+    )
+    verdict = evaluate_slo(summary, policy)
+    assert not verdict.passed
+    assert "skip rate" in verdict.reasons[0]
+    assert evaluate_slo(
+        summary,
+        SLOPolicy(deadline_s=10.0, max_miss_rate=1.0, max_skip_rate=2.0),
+    ).passed
+
+
+def test_multiple_violations_all_reported():
+    records = _records([20.0, 20.0])
+    summary = summarize_jobs(records, deadline_s=10.0, skipped_releases=10)
+    policy = SLOPolicy(
+        deadline_s=10.0,
+        max_miss_rate=0.0,
+        max_p99_response_s=1.0,
+        max_skip_rate=0.1,
+    )
+    verdict = evaluate_slo(summary, policy)
+    assert len(verdict.reasons) == 3
+
+
+def test_policy_as_dict_round_trip_units():
+    policy = SLOPolicy(
+        deadline_s=0.05, max_miss_rate=0.1, max_p99_response_s=0.04
+    )
+    d = policy.as_dict()
+    assert d["deadline_ms"] == pytest.approx(50.0)
+    assert d["max_p99_response_ms"] == pytest.approx(40.0)
+    assert d["max_skip_rate"] is None
