@@ -10,22 +10,22 @@ timings, and asserts per-phase speedup floors so a regression in the
 vectorized paths fails loudly instead of silently eroding.
 
 ``rtrbench bench`` drives it from the command line and writes
-``BENCH_hotpaths.json`` with one entry per phase::
-
-    {"raycast": {"reference_s": ..., "vectorized_s": ..., "speedup": ...,
-                 "ops": ...}, ...}
-
-``ops`` is the architecture-independent work count for the workload
-(boundary crossings / cells checked / candidate comparisons) and is
-deterministic for a given seed; the timings are wall-clock minima over
-interleaved repeats, the most load-robust point estimate on a shared
-machine.
+``BENCH_hotpaths.json`` as a schema-versioned
+:class:`~repro.results.record.RunRecord` whose measurements are the flat
+``<phase>.speedup`` / ``<phase>.reference_s`` / ``<phase>.ops`` names the
+gate engine addresses; the raw ``phase -> metrics`` mapping rides in the
+record's ``detail``.  ``ops`` is the architecture-independent work count
+for the workload (boundary crossings / cells checked / candidate
+comparisons) and is deterministic for a given seed; the timings are
+wall-clock minima over interleaved repeats, the most load-robust point
+estimate on a shared machine.  The per-phase speedup floors that used to
+live here as ``check_floors`` are now gate declarations in
+:data:`repro.results.gates.DEFAULT_GATES`.
 """
 
 from __future__ import annotations
 
 import gc
-import json
 import time
 from typing import Callable, Dict, List
 
@@ -43,13 +43,12 @@ from repro.geometry.raycast import (
     cast_rays_batch,
     cast_rays_dda_batch,
 )
-
-#: Minimum acceptable vectorized-over-reference speedup per phase.
-SPEEDUP_FLOORS: Dict[str, float] = {
-    "raycast": 5.0,
-    "collision": 3.0,
-    "nn": 2.0,
-}
+from repro.results import (
+    RunRecord,
+    capture_environment,
+    pinned_thread_env,
+    record_from_bench,
+)
 
 
 def _interleaved_min(
@@ -264,7 +263,7 @@ def run_bench(
     :func:`repro.harness.parallel.map_tasks`.  Per-phase timings from a
     parallel run share the machine with sibling phases and are noisier
     than a serial run's; the suite report records them as such, while
-    floor enforcement (``check_floors``) is intended for serial runs.
+    floor gates (``rtrbench gate``) are intended for serial runs.
     A phase that fails raises, as in serial mode.
     """
     if jobs <= 1:
@@ -290,29 +289,26 @@ def run_bench(
     return {phase: r.value for phase, r in zip(phases, results)}
 
 
-def check_floors(
-    results: Dict[str, Dict[str, float]],
-    floors: Dict[str, float] = SPEEDUP_FLOORS,
-) -> List[str]:
-    """Speedup-floor violations, as human-readable messages (empty = pass)."""
-    failures = []
-    for phase, floor in floors.items():
-        if phase not in results:
-            failures.append(f"{phase}: missing from results")
-            continue
-        speedup = results[phase]["speedup"]
-        if speedup < floor:
-            failures.append(
-                f"{phase}: speedup {speedup:.2f}x below floor {floor:.1f}x"
-            )
-    return failures
+def run_bench_record(
+    smoke: bool = False, seed: int = 7, jobs: int = 1
+) -> RunRecord:
+    """Run the bench under a pinned thread environment; return a record.
 
-
-def write_report(results: Dict[str, Dict[str, float]], path: str) -> None:
-    """Write the ``phase -> metrics`` mapping as pretty-printed JSON."""
-    with open(path, "w") as fh:
-        json.dump(results, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    Thread-count variables (``OMP_NUM_THREADS`` and friends) are pinned
+    to 1 for the duration of the run — unset BLAS thread pools are the
+    single largest source of run-to-run hot-path noise — unless the user
+    set them, in which case their values win.  Either way the observed
+    mapping lands in the record's environment fingerprint, so two
+    records' timings are never compared without knowing the thread
+    configuration each was measured under.  Parallel workers fork while
+    the pin is active and inherit it.
+    """
+    with pinned_thread_env() as thread_env:
+        results = run_bench(smoke=smoke, seed=seed, jobs=jobs)
+        env = capture_environment(thread_env=thread_env)
+    return record_from_bench(
+        results, smoke=smoke, seed=seed, jobs=jobs, env=env
+    )
 
 
 def render_report(results: Dict[str, Dict[str, float]]) -> str:

@@ -15,7 +15,18 @@ defaults.
     rtrbench suite [-j N] [--smoke] [--filter GLOB]
     rtrbench rt pfl --period-ms 100 --deadline-ms 100 --jobs 200
     rtrbench rt cem --antagonists 4 --antagonist-kind membw
-    rtrbench cache [stats|clear]
+    rtrbench cache [stats|clear] [--json]
+    rtrbench report [bench@latest]
+    rtrbench compare bench@latest BENCH_hotpaths.json
+    rtrbench gate --strict
+
+``bench`` / ``suite`` / ``rt`` emit schema-versioned run records: the
+``--output`` file is a record, and a copy is appended to the
+``.rtrbench_results/`` history (``--no-store`` skips that).  ``report``
+lists or renders stored records, ``compare`` diffs two records with a
+noise tolerance, and ``gate`` judges records against the declarative
+regression gates (the single CI entry point replacing the old
+per-subsystem floor checkers).
 """
 
 from __future__ import annotations
@@ -27,6 +38,47 @@ from typing import List, Optional
 from repro.harness.config import build_arg_parser, config_from_args
 from repro.harness.reporting import result_summary
 from repro.harness.runner import load_all_kernels, registry
+
+
+def _add_store_options(parser) -> None:
+    """Record-store options shared by the record-emitting subcommands."""
+    parser.add_argument(
+        "--results-dir", default=None, metavar="DIR",
+        help=(
+            "record history directory (default: .rtrbench_results, or "
+            "RTRBENCH_RESULTS_DIR)"
+        ),
+    )
+    parser.add_argument(
+        "--no-store", action="store_true",
+        help="write only --output; skip appending to the result history",
+    )
+
+
+def _persist_record(record, args) -> None:
+    """Append a record to the history store and write the --output file."""
+    from repro.harness.reporting import write_json_report
+    from repro.results import ResultStore
+
+    if not args.no_store:
+        path = ResultStore(args.results_dir).save(record)
+        print(f"record stored at {path}")
+    write_json_report(record.to_dict(), args.output)
+    print(f"report written to {args.output}")
+
+
+def _enforce_gates(record, args) -> int:
+    """Judge a freshly produced record against the shipped gate policy."""
+    from repro.results import ResultStore, evaluate_gates
+
+    store = None if args.no_store else ResultStore(args.results_dir)
+    failures = [
+        r for r in evaluate_gates(record, store=store) if r.failed
+    ]
+    for failure in failures:
+        print(f"GATE FAILURE {failure.gate}: {failure.reason}",
+              file=sys.stderr)
+    return 1 if failures else 0
 
 
 def _cmd_list() -> int:
@@ -143,24 +195,20 @@ def _cmd_characterize(argv: List[str]) -> int:
 def _cmd_bench(argv: List[str]) -> int:
     import argparse
 
-    from repro.harness.bench import (
-        check_floors,
-        render_report,
-        run_bench,
-        write_report,
-    )
+    from repro.harness.bench import render_report, run_bench_record
 
     parser = argparse.ArgumentParser(
         prog="rtrbench bench",
         description=(
-            "Benchmark the reference vs vectorized hot-path backends and "
-            "assert per-phase speedup floors."
+            "Benchmark the reference vs vectorized hot-path backends "
+            "under a pinned thread environment, emit a run record, and "
+            "enforce the per-phase speedup-floor gates."
         ),
     )
     parser.add_argument(
         "--smoke",
         action="store_true",
-        help="small workloads, no floor enforcement (CI sanity run)",
+        help="small workloads, no gate enforcement (CI sanity run)",
     )
     parser.add_argument(
         "--seed", type=int, default=7, help="workload seed (default: 7)"
@@ -168,35 +216,33 @@ def _cmd_bench(argv: List[str]) -> int:
     parser.add_argument(
         "--output",
         default="BENCH_hotpaths.json",
-        help="report path (default: BENCH_hotpaths.json)",
+        help="record path (default: BENCH_hotpaths.json)",
     )
     parser.add_argument(
         "--no-check",
         action="store_true",
-        help="write the report without enforcing speedup floors",
+        help="write the record without enforcing the speedup-floor gates",
     )
     parser.add_argument(
         "-j", "--jobs", type=int, default=1,
         help="worker processes for the bench phases (default: 1, serial)",
     )
+    _add_store_options(parser)
     args = parser.parse_args(argv)
-    results = run_bench(smoke=args.smoke, seed=args.seed, jobs=args.jobs)
-    write_report(results, args.output)
-    print(render_report(results))
-    print(f"report written to {args.output}")
+    record = run_bench_record(smoke=args.smoke, seed=args.seed, jobs=args.jobs)
+    print(render_report(record.detail))
+    _persist_record(record, args)
     if args.smoke or args.no_check:
         return 0
-    failures = check_floors(results)
-    for failure in failures:
-        print(f"FLOOR VIOLATION {failure}", file=sys.stderr)
-    return 1 if failures else 0
+    return _enforce_gates(record, args)
 
 
 def _cmd_suite(argv: List[str]) -> int:
     import argparse
 
-    from repro.harness.reporting import render_suite_report, write_json_report
-    from repro.harness.suite import check_suite_floors, run_suite
+    from repro.harness.reporting import render_suite_report
+    from repro.harness.suite import run_suite
+    from repro.results import capture_environment, record_from_suite
 
     parser = argparse.ArgumentParser(
         prog="rtrbench suite",
@@ -227,7 +273,7 @@ def _cmd_suite(argv: List[str]) -> int:
     parser.add_argument(
         "--output",
         default="BENCH_suite.json",
-        help="report path (default: BENCH_suite.json)",
+        help="record path (default: BENCH_suite.json)",
     )
     parser.add_argument(
         "--no-serial-compare",
@@ -237,7 +283,7 @@ def _cmd_suite(argv: List[str]) -> int:
     parser.add_argument(
         "--no-check",
         action="store_true",
-        help="write the report without enforcing suite floors",
+        help="write the record without enforcing the suite gates",
     )
     parser.add_argument(
         "--filter",
@@ -248,6 +294,7 @@ def _cmd_suite(argv: List[str]) -> int:
             "(e.g. 'characterize:*', 'rt:*', 'bench:raycast')"
         ),
     )
+    _add_store_options(parser)
     args = parser.parse_args(argv)
     try:
         report = run_suite(
@@ -261,23 +308,21 @@ def _cmd_suite(argv: List[str]) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    write_json_report(report, args.output)
+    record = record_from_suite(report, env=capture_environment())
     print(render_suite_report(report))
-    print(f"report written to {args.output}")
+    _persist_record(record, args)
     if args.smoke or args.no_check:
         return 0
-    failures = check_suite_floors(report)
-    for failure in failures:
-        print(f"SUITE VIOLATION {failure}", file=sys.stderr)
-    return 1 if failures else 0
+    return _enforce_gates(record, args)
 
 
 def _cmd_rt(argv: List[str]) -> int:
     import argparse
 
-    from repro.harness.reporting import render_rt_report, write_json_report
+    from repro.harness.reporting import render_rt_report
+    from repro.results import capture_environment, record_from_rt
     from repro.rt.interference import ANTAGONIST_KINDS
-    from repro.rt.run import check_rt_floors, run_rt
+    from repro.rt.run import run_rt
     from repro.rt.scheduler import OVERRUN_POLICIES
 
     parser = argparse.ArgumentParser(
@@ -332,12 +377,13 @@ def _cmd_rt(argv: List[str]) -> int:
     )
     parser.add_argument(
         "--output", default="BENCH_rt.json",
-        help="report path (default: BENCH_rt.json)",
+        help="record path (default: BENCH_rt.json)",
     )
     parser.add_argument(
         "--no-check", action="store_true",
-        help="write the report without enforcing rt floors",
+        help="write the record without enforcing the rt gates",
     )
+    _add_store_options(parser)
     args, kernel_args = parser.parse_known_args(argv)
 
     from repro.harness.runner import load_all_kernels, registry
@@ -366,15 +412,12 @@ def _cmd_rt(argv: List[str]) -> int:
         max_miss_rate=args.max_miss_rate,
         config=config,
     )
-    write_json_report(report, args.output)
+    record = record_from_rt(report, env=capture_environment())
     print(render_rt_report(report))
-    print(f"report written to {args.output}")
+    _persist_record(record, args)
     if args.smoke or args.no_check:
         return 0
-    failures = check_rt_floors(report)
-    for failure in failures:
-        print(f"RT VIOLATION {failure}", file=sys.stderr)
-    return 1 if failures else 0
+    return _enforce_gates(record, args)
 
 
 def _cmd_cache(argv: List[str]) -> int:
@@ -398,8 +441,19 @@ def _cmd_cache(argv: List[str]) -> int:
         "--memory-only", action="store_true",
         help="with 'clear': drop only the in-process layer, keep disk",
     )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="with 'stats': machine-readable output for suite tooling/CI",
+    )
     args = parser.parse_args(argv)
     cache = default_cache()
+    if args.action == "stats" and args.json:
+        import json
+
+        payload = dict(cache.disk_stats())
+        payload["process"] = cache.stats.as_dict()
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
     if args.action == "clear":
         before = cache.disk_stats()
         cache.clear(memory_only=args.memory_only)
@@ -422,6 +476,185 @@ def _cmd_cache(argv: List[str]) -> int:
         f"{process['disk_hits']} disk), {process['misses']} misses"
     )
     return 0
+
+
+def _cmd_report(argv: List[str]) -> int:
+    import argparse
+    import json
+
+    from repro.harness.reporting import render_record
+    from repro.results import ResultStore
+
+    parser = argparse.ArgumentParser(
+        prog="rtrbench report",
+        description=(
+            "List the stored run-record history, or render one record "
+            "(by path, '<kind>', '<kind>@latest', or '<kind>@<run_id>')."
+        ),
+    )
+    parser.add_argument(
+        "ref", nargs="?", default=None,
+        help="record reference (default: list the whole history)",
+    )
+    parser.add_argument(
+        "--results-dir", default=None, metavar="DIR",
+        help="record history directory (default: .rtrbench_results)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="print the raw record document instead of the table view",
+    )
+    args = parser.parse_args(argv)
+    store = ResultStore(args.results_dir)
+    if args.ref is None:
+        kinds = store.kinds()
+        if not kinds:
+            print(f"no records stored under {store.root}")
+            return 0
+        for kind in kinds:
+            history = store.history(kind)
+            latest = store.latest_path(kind)
+            latest_name = (
+                latest.rsplit("/", 1)[-1][:-5] if latest else "?"
+            )
+            print(
+                f"{kind:<12} {len(history)} record(s), latest {latest_name}"
+            )
+        return 0
+    try:
+        record = store.load(args.ref)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(record.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(render_record(record))
+    return 0
+
+
+def _cmd_compare(argv: List[str]) -> int:
+    import argparse
+
+    from repro.results import ResultStore, compare_records
+    from repro.results.compare import DEFAULT_TOLERANCE, render_comparison
+
+    parser = argparse.ArgumentParser(
+        prog="rtrbench compare",
+        description=(
+            "Metric-by-metric delta between two run records (store "
+            "references or file paths; legacy BENCH_*.json load too), "
+            "with a relative noise tolerance."
+        ),
+    )
+    parser.add_argument("baseline", help="record A (the baseline)")
+    parser.add_argument("candidate", help="record B (the candidate)")
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        help=(
+            "relative noise tolerance, e.g. 0.05 = 5%% "
+            f"(default: {DEFAULT_TOLERANCE})"
+        ),
+    )
+    parser.add_argument(
+        "--metrics", default=None, metavar="GLOB",
+        help="compare only metric names matching this glob ('*.speedup')",
+    )
+    parser.add_argument(
+        "--fail-on-regression", action="store_true",
+        help="exit 1 when any directional metric regressed beyond tolerance",
+    )
+    parser.add_argument(
+        "--results-dir", default=None, metavar="DIR",
+        help="record history directory (default: .rtrbench_results)",
+    )
+    args = parser.parse_args(argv)
+    store = ResultStore(args.results_dir)
+    try:
+        a = store.load(args.baseline)
+        b = store.load(args.candidate)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    comparison = compare_records(
+        a, b, tolerance=args.tolerance, metrics=args.metrics
+    )
+    print(render_comparison(comparison))
+    if args.fail_on_regression and comparison.regressions():
+        return 1
+    return 0
+
+
+def _cmd_gate(argv: List[str]) -> int:
+    import argparse
+
+    from repro.results import ResultStore, evaluate_gates, render_gate_results
+    from repro.results.gates import gate_failures, gates_from_file
+
+    parser = argparse.ArgumentParser(
+        prog="rtrbench gate",
+        description=(
+            "Judge run records against the declarative regression gates. "
+            "With no references, every kind's latest stored record is "
+            "gated — the single CI entry point that replaced the "
+            "per-subsystem floor checkers."
+        ),
+    )
+    parser.add_argument(
+        "refs", nargs="*",
+        help=(
+            "records to gate: store references or file paths "
+            "(default: the latest record of every stored kind)"
+        ),
+    )
+    parser.add_argument(
+        "--gates", default=None, metavar="FILE",
+        help="JSON file with gate declarations (default: shipped policy)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help=(
+            "fail when there is nothing to gate or a reference cannot "
+            "be loaded (CI mode: an empty store must not pass silently)"
+        ),
+    )
+    parser.add_argument(
+        "--results-dir", default=None, metavar="DIR",
+        help="record history directory (default: .rtrbench_results)",
+    )
+    args = parser.parse_args(argv)
+    store = ResultStore(args.results_dir)
+    gates = None
+    if args.gates is not None:
+        try:
+            gates = gates_from_file(args.gates)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    refs = args.refs or store.kinds()
+    failed = False
+    gated = 0
+    for ref in refs:
+        try:
+            record = store.load(ref)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            if args.strict:
+                failed = True
+            continue
+        results = evaluate_gates(record, gates=gates, store=store)
+        print(render_gate_results(record, results))
+        gated += 1
+        if gate_failures(results):
+            failed = True
+    if gated == 0:
+        print(
+            f"no records to gate under {store.root}",
+            file=sys.stderr if args.strict else sys.stdout,
+        )
+        if args.strict:
+            return 1
+    return 1 if failed else 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -447,6 +680,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_rt(rest)
     if command == "cache":
         return _cmd_cache(rest)
+    if command == "report":
+        return _cmd_report(rest)
+    if command == "compare":
+        return _cmd_compare(rest)
+    if command == "gate":
+        return _cmd_gate(rest)
     print(f"error: unknown command {command!r}", file=sys.stderr)
     return 2
 

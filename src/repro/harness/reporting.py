@@ -70,6 +70,44 @@ def write_json_report(payload: Any, path: str) -> None:
         fh.write("\n")
 
 
+def render_record(record: Any) -> str:
+    """Human view of a :class:`~repro.results.record.RunRecord`.
+
+    Header (identity + provenance), environment fingerprint, then the
+    flat measurement table — the same names ``rtrbench gate`` and
+    ``rtrbench compare`` address.
+    """
+    env = record.environment
+    lines = [
+        f"{record.kind} record {record.run_id} "
+        f"(schema v{record.schema_version}, {record.created_at})"
+    ]
+    if record.tags:
+        lines.append(f"tags: {', '.join(record.tags)}")
+    if record.provenance:
+        provenance = ", ".join(
+            f"{key}={value}"
+            for key, value in sorted(record.provenance.items())
+            if value is not None
+        )
+        lines.append(f"provenance: {provenance}")
+    thread_env = (
+        ", ".join(f"{k}={v}" for k, v in sorted(env.thread_env.items()))
+        or "unpinned"
+    )
+    lines.append(
+        f"environment: python {env.python or '?'}, numpy {env.numpy or '?'}, "
+        f"{env.cpu_count or '?'} cpus, git {(env.git_sha or 'unknown')[:12]}, "
+        f"threads: {thread_env} [{env.digest()}]"
+    )
+    rows = [
+        [name, f"{m.value:.6g}", m.unit or "-"]
+        for name, m in sorted(record.measurements.items())
+    ]
+    lines.append(format_table(["measurement", "value", "unit"], rows))
+    return "\n".join(lines)
+
+
 def render_rt_report(report: Dict[str, Any]) -> str:
     """Human view of a ``run_rt`` report: per-condition latency table + SLO."""
     rt = report["rt"]

@@ -147,7 +147,14 @@ class KernelRegistry:
         self._kernels.pop(name, None)
 
     def get(self, name: str) -> Type[Kernel]:
-        """Look up a kernel by exact name or unique suffix (``pp2d``)."""
+        """Look up a kernel by exact name or unique suffix (``pp2d``).
+
+        An unknown name raises a ``KeyError`` carrying close-match
+        suggestions (full names and bare suffixes), and an ambiguous
+        suffix lists every candidate — so a CLI typo like ``rrtt`` or
+        ``pfll`` answers with the kernel the user meant instead of a
+        bare error.
+        """
         if name in self._kernels:
             return self._kernels[name]
         matches = [
@@ -157,9 +164,25 @@ class KernelRegistry:
         ]
         if len(matches) == 1:
             return matches[0]
-        if not matches:
-            raise KeyError(f"unknown kernel {name!r}")
-        raise KeyError(f"ambiguous kernel name {name!r}")
+        if matches:
+            candidates = sorted(
+                key
+                for key in self._kernels
+                if key.split(".", 1)[-1] == name
+            )
+            raise KeyError(
+                f"ambiguous kernel name {name!r}; candidates: "
+                + ", ".join(candidates)
+            )
+        import difflib
+
+        vocabulary = sorted(
+            set(self._kernels)
+            | {key.split(".", 1)[-1] for key in self._kernels}
+        )
+        close = difflib.get_close_matches(name, vocabulary, n=3, cutoff=0.5)
+        hint = f"; did you mean: {', '.join(close)}?" if close else ""
+        raise KeyError(f"unknown kernel {name!r}{hint}")
 
     def names(self) -> List[str]:
         """All registered kernel names, in paper order."""

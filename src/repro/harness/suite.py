@@ -17,9 +17,15 @@ through :func:`repro.harness.parallel.map_tasks`:
   produced identical per-task fingerprints (operation counters — the
   timing-free part of each result), the suite's determinism guarantee.
 
-``run_suite`` returns (and ``rtrbench suite`` writes, as
-``BENCH_suite.json``) a machine-readable report with per-task ROI and
-setup time, cache hit/miss accounting, wall clocks, and worker count.
+``run_suite`` returns a machine-readable report with per-task ROI and
+setup time, cache hit/miss accounting, wall clocks, and worker count;
+``rtrbench suite`` wraps it into a
+:class:`~repro.results.record.RunRecord` (``BENCH_suite.json``) whose
+measurements — ``suite.failures``, ``suite.parallel_speedup``,
+``determinism.match``, ``cache.hit_speedup``, per-task ROI times — feed
+the declarative suite gates in :data:`repro.results.gates.DEFAULT_GATES`
+(the successors of the ``check_suite_floors`` checker that used to live
+here).
 """
 
 from __future__ import annotations
@@ -41,12 +47,6 @@ SMOKE_KERNELS = (
     "15.cem",
     "16.bo",
 )
-
-#: Floors the full (non-smoke) suite must clear; see ``check_suite_floors``.
-SUITE_FLOORS: Dict[str, float] = {
-    "parallel_speedup": 2.0,
-    "cache_hit_speedup": 5.0,
-}
 
 #: Kernels scheduled as periodic rt tasks alongside characterization.
 #: Fast kernels only — an rt task runs ``jobs`` full kernel iterations,
@@ -379,40 +379,3 @@ def run_suite(
         "determinism": determinism,
         "tasks": rows,
     }
-
-
-def check_suite_floors(
-    report: Dict[str, Any],
-    floors: Dict[str, float] = SUITE_FLOORS,
-) -> List[str]:
-    """Floor/consistency violations for a full suite run (empty = pass).
-
-    Checks: no failed tasks, serial-vs-parallel determinism when it was
-    measured, parallel speedup (when a serial comparison pass ran) and
-    cache-hit speedup against ``floors``.
-    """
-    failures = []
-    for row in report["tasks"]:
-        if not row["ok"]:
-            reason = "timed out" if row.get("timed_out") else "failed"
-            failures.append(f"task {row['task']}: {reason}")
-    determinism = report.get("determinism", {})
-    if determinism.get("checked") and not determinism.get("matches"):
-        failures.append(
-            "determinism: parallel and serial fingerprints differ for "
-            + ", ".join(determinism.get("mismatches", []))
-        )
-    speedup = report["suite"].get("parallel_speedup")
-    floor = floors.get("parallel_speedup")
-    if speedup is not None and floor is not None and speedup < floor:
-        failures.append(
-            f"parallel_speedup: {speedup:.2f}x below floor {floor:.1f}x"
-        )
-    hit_speedup = report["cache"]["probe"]["hit_speedup"]
-    floor = floors.get("cache_hit_speedup")
-    if floor is not None and hit_speedup < floor:
-        failures.append(
-            f"cache_hit_speedup: {hit_speedup:.2f}x below floor "
-            f"{floor:.1f}x"
-        )
-    return failures

@@ -1,0 +1,297 @@
+"""Producer payloads -> :class:`~repro.results.record.RunRecord`.
+
+One adapter per producer, used in two places: at production time (the
+``rtrbench`` commands convert their freshly computed nested payload into
+a record, attaching the live environment fingerprint) and at load time
+(:mod:`repro.results.store` routes the three pre-record report layouts —
+schema generation 0 — through the same adapters with an *unknown*
+environment, so every historical ``BENCH_*.json`` remains loadable,
+comparable, and gateable).
+
+The measurement names minted here are the layer's public contract: gate
+declarations and ``rtrbench compare`` address metrics by these dotted
+names, so renames are schema changes and belong with a
+``RECORD_SCHEMA_VERSION`` bump.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Mapping, Optional
+
+from repro.results.record import (
+    EnvironmentFingerprint,
+    Measurement,
+    RunRecord,
+    capture_environment,
+)
+
+
+def _jsonable(payload: Any) -> Dict[str, Any]:
+    """Round-trip a payload through JSON so ``detail`` always serializes."""
+    return json.loads(json.dumps(payload, default=repr))
+
+
+def _seconds(value: float) -> Measurement:
+    return Measurement(float(value), unit="s", higher_is_better=False)
+
+
+def _ratio(value: float, higher_is_better: Optional[bool] = True) -> Measurement:
+    return Measurement(
+        float(value), unit="ratio", higher_is_better=higher_is_better
+    )
+
+
+def _count(value: float, higher_is_better: Optional[bool] = None) -> Measurement:
+    return Measurement(
+        float(value), unit="count", higher_is_better=higher_is_better
+    )
+
+
+def _flag(value: bool) -> Measurement:
+    """A pass/fail bit as 1.0/0.0 (gateable with ``== 1``)."""
+    return Measurement(1.0 if value else 0.0, unit="bool", higher_is_better=True)
+
+
+def _env(env: Optional[EnvironmentFingerprint]) -> EnvironmentFingerprint:
+    return EnvironmentFingerprint.unknown() if env is None else env
+
+
+# -- bench ---------------------------------------------------------------------
+
+#: Unit assignment for the per-phase bench metric keys.
+_BENCH_FIELD_UNITS = {
+    "reference_s": _seconds,
+    "vectorized_s": _seconds,
+    "reference_cpu_s": _seconds,
+    "vectorized_cpu_s": _seconds,
+}
+
+
+def record_from_bench(
+    results: Mapping[str, Mapping[str, float]],
+    smoke: Optional[bool] = None,
+    seed: Optional[int] = None,
+    jobs: Optional[int] = None,
+    env: Optional[EnvironmentFingerprint] = None,
+) -> RunRecord:
+    """Record for a hot-path bench run (``phase -> metrics`` mapping).
+
+    Mints ``<phase>.speedup`` / ``<phase>.reference_s`` /
+    ``<phase>.vectorized_s`` / ``<phase>.ops`` measurements per phase.
+    ``smoke=None`` (a legacy report: the old layout never recorded its
+    mode) leaves the record untagged, which is exactly how the old
+    checker treated the same data — floors applied.
+    """
+    measurements: Dict[str, Measurement] = {}
+    for phase, row in results.items():
+        for key, value in row.items():
+            if key == "speedup":
+                measurements[f"{phase}.speedup"] = _ratio(value)
+            elif key == "ops":
+                measurements[f"{phase}.ops"] = _count(value)
+            elif key in _BENCH_FIELD_UNITS:
+                measurements[f"{phase}.{key}"] = _BENCH_FIELD_UNITS[key](value)
+    provenance: Dict[str, Any] = {"phases": sorted(results)}
+    if seed is not None:
+        provenance["seed"] = seed
+    if jobs is not None:
+        provenance["jobs"] = jobs
+    if smoke is not None:
+        provenance["smoke"] = smoke
+    return RunRecord(
+        kind="bench",
+        environment=_env(env),
+        provenance=provenance,
+        tags=["smoke"] if smoke else [],
+        measurements=measurements,
+        detail=_jsonable(dict(results)),
+    )
+
+
+# -- suite ---------------------------------------------------------------------
+
+
+def record_from_suite(
+    report: Mapping[str, Any],
+    env: Optional[EnvironmentFingerprint] = None,
+) -> RunRecord:
+    """Record for a ``run_suite`` report (the old ``BENCH_suite.json``)."""
+    suite = report["suite"]
+    measurements: Dict[str, Measurement] = {
+        "suite.task_count": _count(suite["task_count"]),
+        "suite.failures": _count(suite["failures"], higher_is_better=False),
+        "suite.wall_s": _seconds(suite["wall_s"]),
+    }
+    if suite.get("serial_wall_s") is not None:
+        measurements["suite.serial_wall_s"] = _seconds(suite["serial_wall_s"])
+    if suite.get("parallel_speedup") is not None:
+        measurements["suite.parallel_speedup"] = _ratio(
+            suite["parallel_speedup"]
+        )
+    determinism = report.get("determinism", {})
+    if determinism.get("checked"):
+        measurements["determinism.match"] = _flag(
+            bool(determinism.get("matches"))
+        )
+    probe = report.get("cache", {}).get("probe", {})
+    if "hit_speedup" in probe:
+        measurements["cache.hit_speedup"] = _ratio(probe["hit_speedup"])
+    if "cold_build_s" in probe:
+        measurements["cache.cold_build_s"] = _seconds(probe["cold_build_s"])
+    if "warm_hit_s" in probe:
+        measurements["cache.warm_hit_s"] = _seconds(probe["warm_hit_s"])
+    for row in report.get("tasks", []):
+        if row.get("ok"):
+            name = row["task"]
+            measurements[f"tasks.{name}.wall_s"] = _seconds(row["wall_s"])
+            measurements[f"tasks.{name}.roi_s"] = _seconds(
+                row.get("roi_s", 0.0)
+            )
+    return RunRecord(
+        kind="suite",
+        environment=_env(env),
+        provenance={
+            "jobs": suite.get("jobs"),
+            "seed": suite.get("seed"),
+            "smoke": suite.get("smoke", False),
+            "filter": suite.get("filter"),
+        },
+        tags=["smoke"] if suite.get("smoke") else [],
+        measurements=measurements,
+        detail=_jsonable(dict(report)),
+    )
+
+
+# -- rt ------------------------------------------------------------------------
+
+
+def record_from_rt(
+    report: Mapping[str, Any],
+    env: Optional[EnvironmentFingerprint] = None,
+) -> RunRecord:
+    """Record for a ``run_rt`` report (the old ``BENCH_rt.json``)."""
+    rt = report["rt"]
+    measurements: Dict[str, Measurement] = {
+        "rt.period_ms": Measurement(float(rt["period_ms"]), unit="ms"),
+        "rt.deadline_ms": Measurement(float(rt["deadline_ms"]), unit="ms"),
+        "slo.pass": _flag(report["slo"]["verdict"] == "pass"),
+    }
+    for condition, summary in report.get("conditions", {}).items():
+        response = summary.get("response_ms", {})
+        jitter = summary.get("jitter_ms", {})
+        measurements[f"{condition}.miss_rate"] = _ratio(
+            summary["miss_rate"], higher_is_better=False
+        )
+        for quantile in ("p50", "p99", "max"):
+            if quantile in response:
+                measurements[f"{condition}.response_{quantile}_ms"] = (
+                    Measurement(
+                        float(response[quantile]),
+                        unit="ms",
+                        higher_is_better=False,
+                    )
+                )
+        if "p99" in jitter:
+            measurements[f"{condition}.jitter_p99_ms"] = Measurement(
+                float(jitter["p99"]), unit="ms", higher_is_better=False
+            )
+        if "busy_s" in summary:
+            measurements[f"{condition}.busy_s"] = _seconds(summary["busy_s"])
+    degradation = report.get("degradation")
+    if degradation is not None:
+        measurements["degradation.p50_ratio"] = _ratio(
+            degradation["p50_ratio"], higher_is_better=None
+        )
+        measurements["degradation.p99_ratio"] = _ratio(
+            degradation["p99_ratio"], higher_is_better=None
+        )
+        measurements["degradation.miss_rate_delta"] = Measurement(
+            float(degradation["miss_rate_delta"]),
+            unit="ratio",
+            higher_is_better=False,
+        )
+    return RunRecord(
+        kind="rt",
+        environment=_env(env),
+        provenance={
+            "kernel": rt.get("kernel"),
+            "stage": rt.get("stage"),
+            "jobs": rt.get("jobs"),
+            "warmup": rt.get("warmup"),
+            "overrun": rt.get("overrun"),
+            "smoke": rt.get("smoke", False),
+            "calibrated": rt.get("calibrated", False),
+            "antagonists": rt.get("antagonists", 0),
+            "antagonist_kind": rt.get("antagonist_kind"),
+            "config": rt.get("config"),
+        },
+        tags=["smoke"] if rt.get("smoke") else [],
+        measurements=measurements,
+        detail=_jsonable(dict(report)),
+    )
+
+
+# -- experiments ---------------------------------------------------------------
+
+
+def record_from_experiment(
+    experiment_id: str,
+    wall_s: float,
+    payload: Any,
+    env: Optional[EnvironmentFingerprint] = None,
+) -> RunRecord:
+    """Record for one experiment-registry run (wall clock + raw payload)."""
+    if env is None:
+        env = capture_environment()
+    return RunRecord(
+        kind="experiment",
+        environment=env,
+        provenance={"experiment": experiment_id},
+        measurements={"experiment.wall_s": _seconds(wall_s)},
+        detail={"experiment": experiment_id, "payload": _jsonable(payload)},
+    )
+
+
+# -- legacy dispatch -----------------------------------------------------------
+
+
+def detect_schema(payload: Mapping[str, Any]) -> str:
+    """Classify a loaded JSON document: ``record`` or a legacy layout."""
+    if "schema_version" in payload:
+        return "record"
+    keys = set(payload)
+    if {"rt", "conditions", "slo"} <= keys:
+        return "rt"
+    if {"suite", "cache", "tasks"} <= keys:
+        return "suite"
+    if payload and all(
+        isinstance(row, Mapping) and "speedup" in row
+        for row in payload.values()
+    ):
+        return "bench"
+    raise ValueError(
+        "unrecognized report document: neither a RunRecord nor one of the "
+        "three legacy BENCH_*.json layouts"
+    )
+
+
+def record_from_payload(payload: Mapping[str, Any]) -> RunRecord:
+    """Load any supported document — current or legacy — as a record.
+
+    Legacy documents get an :meth:`EnvironmentFingerprint.unknown`
+    environment (they never recorded one) and a ``legacy-schema`` tag so
+    downstream tooling can tell upgraded history from native records.
+    """
+    schema = detect_schema(payload)
+    if schema == "record":
+        return RunRecord.from_dict(payload)
+    if schema == "bench":
+        record = record_from_bench(payload)
+    elif schema == "suite":
+        record = record_from_suite(payload)
+    else:
+        record = record_from_rt(payload)
+    record.schema_version = 0
+    record.tags.append("legacy-schema")
+    return record

@@ -1,0 +1,172 @@
+"""Record-vs-record metric comparison with noise tolerance.
+
+Timing measurements on shared machines are noisy; a raw delta table
+would cry wolf on every run.  :func:`compare_records` therefore labels
+each shared metric as within or outside a configurable *relative* noise
+tolerance, flags directional regressions using each measurement's
+``higher_is_better`` orientation, and reports the environment-fingerprint
+fields on which the two records disagree — the first thing to check when
+two runs' numbers diverge.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.results.record import RunRecord
+
+#: Default relative noise tolerance (5%): well above timer jitter on a
+#: quiet machine, well below any speedup floor's margin.
+DEFAULT_TOLERANCE = 0.05
+
+
+@dataclass
+class MetricDelta:
+    """One shared metric's movement from record A to record B."""
+
+    name: str
+    unit: str
+    a: float
+    b: float
+    delta: float
+    #: ``(b - a) / |a|``; ``None`` when A is zero or either side is NaN.
+    rel_delta: Optional[float]
+    #: Whether the movement is inside the noise tolerance.
+    within_tolerance: bool
+    #: True when the metric moved outside tolerance *in the bad
+    #: direction* for its ``higher_is_better`` orientation (always False
+    #: for direction-free metrics).
+    regression: bool
+
+
+@dataclass
+class RecordComparison:
+    """Full comparison result, ready for rendering or gating."""
+
+    a_id: str
+    b_id: str
+    kind: str
+    tolerance: float
+    deltas: List[MetricDelta] = field(default_factory=list)
+    only_in_a: List[str] = field(default_factory=list)
+    only_in_b: List[str] = field(default_factory=list)
+    environment_differences: List[str] = field(default_factory=list)
+
+    def regressions(self) -> List[MetricDelta]:
+        """Deltas that moved in the bad direction beyond tolerance."""
+        return [d for d in self.deltas if d.regression]
+
+    def outside_tolerance(self) -> List[MetricDelta]:
+        """Deltas that moved beyond tolerance in either direction."""
+        return [d for d in self.deltas if not d.within_tolerance]
+
+
+def _delta(
+    name: str,
+    unit: str,
+    higher_is_better: Optional[bool],
+    a: float,
+    b: float,
+    tolerance: float,
+) -> MetricDelta:
+    if math.isnan(a) or math.isnan(b):
+        # Two NaNs are "equal enough"; one NaN is always a real change.
+        within = math.isnan(a) and math.isnan(b)
+        return MetricDelta(
+            name, unit, a, b, b - a, None, within, regression=not within
+        )
+    delta = b - a
+    rel = delta / abs(a) if a != 0.0 else None
+    if rel is not None:
+        within = abs(rel) <= tolerance
+    else:
+        within = delta == 0.0
+    regression = False
+    if not within and higher_is_better is not None:
+        regression = (delta < 0.0) if higher_is_better else (delta > 0.0)
+    return MetricDelta(name, unit, a, b, delta, rel, within, regression)
+
+
+def compare_records(
+    a: RunRecord,
+    b: RunRecord,
+    tolerance: float = DEFAULT_TOLERANCE,
+    metrics: Optional[str] = None,
+) -> RecordComparison:
+    """Compare B against baseline A metric by metric.
+
+    ``metrics`` restricts the comparison to names matching a glob
+    (``'*.speedup'``, ``'unloaded.*'``).  Comparing records of different
+    kinds is allowed (their shared-metric set is typically empty) so the
+    CLI can fail gracefully instead of refusing.
+    """
+    names_a = set(a.measurements)
+    names_b = set(b.measurements)
+    if metrics is not None:
+        names_a = {n for n in names_a if fnmatch.fnmatchcase(n, metrics)}
+        names_b = {n for n in names_b if fnmatch.fnmatchcase(n, metrics)}
+    shared = sorted(names_a & names_b)
+    deltas = []
+    for name in shared:
+        ma, mb = a.measurements[name], b.measurements[name]
+        deltas.append(
+            _delta(
+                name,
+                ma.unit or mb.unit,
+                ma.higher_is_better,
+                ma.value,
+                mb.value,
+                tolerance,
+            )
+        )
+    return RecordComparison(
+        a_id=a.run_id,
+        b_id=b.run_id,
+        kind=a.kind if a.kind == b.kind else f"{a.kind}-vs-{b.kind}",
+        tolerance=tolerance,
+        deltas=deltas,
+        only_in_a=sorted(names_a - names_b),
+        only_in_b=sorted(names_b - names_a),
+        environment_differences=a.environment.differences(b.environment),
+    )
+
+
+def render_comparison(comparison: RecordComparison) -> str:
+    """Fixed-width text view of a comparison, regressions flagged."""
+    lines = [
+        f"compare {comparison.a_id} (A) -> {comparison.b_id} (B) "
+        f"[{comparison.kind}], tolerance {comparison.tolerance:.1%}"
+    ]
+    if comparison.environment_differences:
+        lines.append(
+            "environment differs: "
+            + ", ".join(comparison.environment_differences)
+        )
+    header = f"{'metric':<40} {'A':>12} {'B':>12} {'delta':>9} {'':<10}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for d in comparison.deltas:
+        rel = f"{d.rel_delta:+.1%}" if d.rel_delta is not None else "n/a"
+        if d.regression:
+            label = f"REGRESSED {rel}"
+        elif not d.within_tolerance:
+            label = f"changed {rel}"
+        else:
+            label = f"~ {rel}"
+        lines.append(
+            f"{d.name:<40} {d.a:>12.6g} {d.b:>12.6g} {d.delta:>+9.3g} {label}"
+        )
+    for name in comparison.only_in_a:
+        lines.append(f"{name:<40} only in A")
+    for name in comparison.only_in_b:
+        lines.append(f"{name:<40} only in B")
+    summary = (
+        f"{len(comparison.deltas)} shared metrics, "
+        f"{len(comparison.outside_tolerance())} outside tolerance, "
+        f"{len(comparison.regressions())} regressions"
+    )
+    lines.append(summary)
+    return "\n".join(lines)

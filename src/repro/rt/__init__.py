@@ -27,7 +27,7 @@ Modules:
 from repro.rt.histogram import LatencyHistogram
 from repro.rt.scheduler import JobRecord, PeriodicScheduler, ScheduleResult
 from repro.rt.slo import SLOPolicy, SLOVerdict, evaluate_slo, summarize_jobs
-from repro.rt.run import check_rt_floors, run_rt
+from repro.rt.run import run_rt
 
 __all__ = [
     "LatencyHistogram",
@@ -38,6 +38,5 @@ __all__ = [
     "SLOVerdict",
     "evaluate_slo",
     "summarize_jobs",
-    "check_rt_floors",
     "run_rt",
 ]

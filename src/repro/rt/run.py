@@ -9,14 +9,17 @@ assemble the machine-readable report with latency quantiles, release
 jitter, deadline-miss rate, an SLO verdict, and a phase breakdown with
 per-phase min/max durations from the shared profiler stats.
 
-``check_rt_floors`` is the CI contract: outside smoke mode a failed SLO
-or an antagonist run that did *not* degrade latency fails the command.
+The CI contract — outside smoke mode the unloaded SLO must pass, and an
+antagonist run must actually degrade p99 latency — is expressed as the
+``rt.*`` gate declarations in :data:`repro.results.gates.DEFAULT_GATES`
+and enforced by ``rtrbench gate`` over the record that ``rtrbench rt``
+emits (the ``check_rt_floors`` checker that used to live here).
 """
 
 from __future__ import annotations
 
 import statistics
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Optional
 
 from repro.harness.config import KernelConfig, rt_defaults
 from repro.harness.profiler import PhaseProfiler
@@ -231,28 +234,3 @@ def run_rt(
         "degradation": degradation,
         "slo": {"policy": policy.as_dict(), **verdict.as_dict()},
     }
-
-
-def check_rt_floors(report: Dict[str, Any]) -> List[str]:
-    """Machine-checkable violations for an rt report (empty = pass).
-
-    Smoke mode is exempt from every floor (shared CI machines cannot
-    promise deadlines *or* honest degradation ratios).  Otherwise the
-    unloaded SLO must pass, and an antagonist run must show p99 response
-    degradation > 1.0x — interference that changes nothing means the
-    antagonists never actually contended.
-    """
-    if report["rt"]["smoke"]:
-        return []
-    failures = []
-    if report["slo"]["verdict"] != "pass":
-        failures.extend(
-            f"slo: {reason}" for reason in report["slo"]["reasons"]
-        )
-    degradation = report.get("degradation")
-    if degradation is not None and degradation["p99_ratio"] <= 1.0:
-        failures.append(
-            f"interference: p99 ratio {degradation['p99_ratio']:.3f}x "
-            "under antagonist load (expected > 1.0x)"
-        )
-    return failures

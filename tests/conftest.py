@@ -22,6 +22,25 @@ def _isolated_workload_cache(tmp_path_factory):
     set_default_cache(None)
 
 
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_result_store(tmp_path_factory):
+    """Point the run-record history at a session-temporary directory.
+
+    Keeps CLI-driven tests from appending ``.rtrbench_results/`` into
+    the repository while still exercising the store end to end.
+    """
+    import os
+
+    results_dir = tmp_path_factory.mktemp("rtrbench_results")
+    previous = os.environ.get("RTRBENCH_RESULTS_DIR")
+    os.environ["RTRBENCH_RESULTS_DIR"] = str(results_dir)
+    yield
+    if previous is None:
+        os.environ.pop("RTRBENCH_RESULTS_DIR", None)
+    else:
+        os.environ["RTRBENCH_RESULTS_DIR"] = previous
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """A deterministic random generator for tests."""

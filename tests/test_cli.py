@@ -1,6 +1,7 @@
 """Tests for the rtrbench command-line interface (paper Fig. 20)."""
 
 import json
+import os
 from dataclasses import dataclass
 
 import pytest
@@ -174,7 +175,14 @@ def test_suite_smoke_writes_report(tmp_path, capsys):
     assert code == 0
     out = capsys.readouterr().out
     assert "suite:" in out
-    report = json.loads(target.read_text())
+    assert "record stored at" in out
+    document = json.loads(target.read_text())
+    assert document["kind"] == "suite"
+    assert document["schema_version"] >= 2
+    assert "smoke" in document["tags"]
+    assert document["measurements"]["suite.failures"]["value"] == 0.0
+    # The nested legacy report survives as the record's detail payload.
+    report = document["detail"]
     assert set(report) == {"suite", "cache", "determinism", "tasks"}
     assert report["suite"]["jobs"] == 2
     assert report["suite"]["failures"] == 0
@@ -193,7 +201,7 @@ def test_suite_filter_selects_task_subset(tmp_path, capsys):
          "--output", str(target), "--no-serial-compare"]
     )
     assert code == 0
-    report = json.loads(target.read_text())
+    report = json.loads(target.read_text())["detail"]
     assert report["suite"]["filter"] == "characterize:15.cem"
     assert [row["task"] for row in report["tasks"]] == [
         "characterize:15.cem"
@@ -237,6 +245,17 @@ def test_cache_clear_empties_disk_layer(isolated_cache, capsys):
     assert isolated_cache.disk_stats()["entries"] == 0
 
 
+def test_cache_stats_json_is_machine_readable(isolated_cache, capsys):
+    isolated_cache.get_or_build("toy", {"n": 1}, lambda: list(range(100)))
+    isolated_cache.get_or_build("toy", {"n": 1}, lambda: list(range(100)))
+    assert main(["cache", "stats", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["cache_dir"] == isolated_cache.cache_dir
+    assert payload["entries"] == 1
+    assert payload["process"]["misses"] == 1
+    assert payload["process"]["memory_hits"] == 1
+
+
 def test_cache_clear_memory_only_keeps_disk(isolated_cache, capsys):
     isolated_cache.get_or_build("toy", {"n": 1}, lambda: "payload")
     assert main(["cache", "clear", "--memory-only"]) == 0
@@ -248,3 +267,117 @@ def test_cache_clear_memory_only_keeps_disk(isolated_cache, capsys):
         "toy", {"n": 1}, lambda: pytest.fail("should have hit disk")
     )
     assert hit == "payload"
+
+
+# -- report / compare / gate ---------------------------------------------------
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+
+@pytest.fixture
+def seeded_store(tmp_path):
+    """A private result store holding one bench record."""
+    from repro.results import ResultStore, record_from_bench
+
+    store = ResultStore(str(tmp_path / "results"))
+    record = record_from_bench(
+        {
+            phase: {"reference_s": speedup, "vectorized_s": 1.0,
+                    "speedup": speedup, "ops": 10}
+            for phase, speedup in
+            (("raycast", 6.0), ("collision", 4.0), ("nn", 3.0))
+        },
+        smoke=False, seed=7, jobs=1,
+    )
+    store.save(record)
+    return store
+
+
+def test_report_lists_stored_history(seeded_store, capsys):
+    assert main(["report", "--results-dir", seeded_store.root]) == 0
+    out = capsys.readouterr().out
+    assert "bench" in out
+    assert "1 record(s)" in out
+
+
+def test_report_renders_one_record(seeded_store, capsys):
+    code = main(
+        ["report", "bench@latest", "--results-dir", seeded_store.root]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "raycast.speedup" in out
+    assert "schema" in out
+
+
+def test_report_json_roundtrips_record(seeded_store, capsys):
+    code = main(
+        ["report", "bench", "--json", "--results-dir", seeded_store.root]
+    )
+    assert code == 0
+    document = json.loads(capsys.readouterr().out)
+    assert document["kind"] == "bench"
+    assert document["measurements"]["raycast.speedup"]["value"] == 6.0
+
+
+def test_report_unknown_ref_errors(seeded_store, capsys):
+    code = main(
+        ["report", "suite@latest", "--results-dir", seeded_store.root]
+    )
+    assert code == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_compare_legacy_fixture_against_itself(capsys):
+    fixture = f"{FIXTURES}/legacy_BENCH_hotpaths.json"
+    assert main(["compare", fixture, fixture]) == 0
+    out = capsys.readouterr().out
+    assert "raycast.speedup" in out
+
+
+def test_compare_fail_on_regression_exits_nonzero(tmp_path, capsys):
+    fixture = f"{FIXTURES}/legacy_BENCH_hotpaths.json"
+    slower = tmp_path / "slower.json"
+    with open(fixture) as fh:
+        payload = json.load(fh)
+    payload["raycast"]["speedup"] = payload["raycast"]["speedup"] / 10.0
+    slower.write_text(json.dumps(payload))
+    code = main(
+        ["compare", fixture, str(slower), "--fail-on-regression"]
+    )
+    assert code == 1
+    assert "REGRESSED" in capsys.readouterr().out
+
+
+def test_gate_cli_passes_stored_record(seeded_store, capsys):
+    code = main(["gate", "--strict", "--results-dir", seeded_store.root])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "bench.raycast-speedup-floor" in out
+    assert "PASS" in out
+
+
+def test_gate_cli_strict_fails_on_empty_store(tmp_path, capsys):
+    empty = str(tmp_path / "empty")
+    assert main(["gate", "--results-dir", empty]) == 0
+    assert main(["gate", "--strict", "--results-dir", empty]) == 1
+    assert "no records to gate" in capsys.readouterr().err
+
+
+def test_gate_cli_judges_legacy_fixture_files(tmp_path, capsys):
+    results_dir = str(tmp_path / "results")
+    # The committed pre-migration bench report clears its floors ...
+    code = main(
+        ["gate", f"{FIXTURES}/legacy_BENCH_hotpaths.json",
+         "--results-dir", results_dir]
+    )
+    assert code == 0
+    # ... while the suite report's 1-core parallel speedup fails its
+    # floor, exactly as the retired checker ruled on the same file.
+    code = main(
+        ["gate", f"{FIXTURES}/legacy_BENCH_suite.json",
+         "--results-dir", results_dir]
+    )
+    assert code == 1
+    err = capsys.readouterr().out
+    assert "suite.parallel-speedup-floor" in err

@@ -6,13 +6,8 @@ import json
 
 import pytest
 
-from repro.harness.bench import (
-    SPEEDUP_FLOORS,
-    check_floors,
-    render_report,
-    run_bench,
-    write_report,
-)
+from repro.harness.bench import render_report, run_bench, run_bench_record
+from repro.results import evaluate_gates, record_from_bench
 
 PHASES = ("raycast", "collision", "nn")
 FIELDS = (
@@ -23,6 +18,9 @@ FIELDS = (
     "speedup",
     "ops",
 )
+
+#: Per-phase speedup floors as shipped in the default gate policy.
+FLOORS = {"raycast": 5.0, "collision": 3.0, "nn": 2.0}
 
 
 @pytest.fixture(scope="module")
@@ -68,53 +66,79 @@ def test_gc_reenabled_after_bench(smoke_results):
     assert gc.isenabled()
 
 
-def test_report_roundtrip(smoke_results, tmp_path):
-    path = tmp_path / "BENCH_hotpaths.json"
-    write_report(smoke_results, str(path))
-    loaded = json.loads(path.read_text())
-    assert set(loaded) == set(PHASES)
-    for phase in PHASES:
-        assert loaded[phase]["ops"] == smoke_results[phase]["ops"]
-
-
 def test_render_report_lists_every_phase(smoke_results):
     text = render_report(smoke_results)
     for phase in PHASES:
         assert phase in text
 
 
-def test_floor_check_passes_above_floors():
-    results = {
+# -- run records ---------------------------------------------------------------
+
+
+def test_run_bench_record_mints_phase_measurements():
+    record = run_bench_record(smoke=True, seed=7, jobs=2)
+    assert record.kind == "bench"
+    assert record.has_tag("smoke")
+    assert record.provenance["seed"] == 7
+    assert record.provenance["jobs"] == 2
+    for phase in PHASES:
+        speedup = record.metric(f"{phase}.speedup")
+        assert speedup is not None and speedup > 0.0
+        assert record.metric(f"{phase}.ops") > 0
+    # The nested legacy layout survives as the record's detail payload.
+    assert set(record.detail) == set(PHASES)
+
+
+def test_run_bench_record_pins_thread_environment():
+    record = run_bench_record(smoke=True)
+    thread_env = record.environment.thread_env
+    assert thread_env.get("OMP_NUM_THREADS")
+    assert thread_env.get("OPENBLAS_NUM_THREADS")
+
+
+def _synthetic_results(speedups):
+    return {
         phase: {
-            "reference_s": floor * 2.0,
+            "reference_s": speedup,
             "vectorized_s": 1.0,
-            "speedup": floor * 2.0,
+            "reference_cpu_s": speedup,
+            "vectorized_cpu_s": 1.0,
+            "speedup": speedup,
             "ops": 1,
         }
-        for phase, floor in SPEEDUP_FLOORS.items()
+        for phase, speedup in speedups.items()
     }
-    assert check_floors(results) == []
 
 
-def test_floor_check_flags_regression():
-    results = {
-        phase: {
-            "reference_s": 1.0,
-            "vectorized_s": 1.0,
-            "speedup": 1.0,
-            "ops": 1,
-        }
-        for phase in SPEEDUP_FLOORS
-    }
-    failures = check_floors(results)
-    assert len(failures) == len(SPEEDUP_FLOORS)
-    assert all("below floor" in f for f in failures)
+def test_speedup_gates_pass_above_floors():
+    results = _synthetic_results(
+        {phase: floor * 2.0 for phase, floor in FLOORS.items()}
+    )
+    record = record_from_bench(results, smoke=False)
+    outcomes = evaluate_gates(record)
+    assert outcomes and all(r.passed for r in outcomes)
 
 
-def test_floor_check_flags_missing_phase():
-    failures = check_floors({})
-    assert len(failures) == len(SPEEDUP_FLOORS)
-    assert all("missing" in f for f in failures)
+def test_speedup_gates_flag_regression():
+    results = _synthetic_results({phase: 1.0 for phase in FLOORS})
+    record = record_from_bench(results, smoke=False)
+    failures = [r for r in evaluate_gates(record) if r.failed]
+    assert len(failures) == len(FLOORS)
+    assert all("violates" in r.reason for r in failures)
+
+
+def test_speedup_gates_flag_missing_phase():
+    record = record_from_bench({}, smoke=False)
+    failures = [r for r in evaluate_gates(record) if r.failed]
+    assert len(failures) == len(FLOORS)
+    assert all("absent" in r.reason for r in failures)
+
+
+def test_smoke_record_skips_speedup_gates():
+    results = _synthetic_results({phase: 1.0 for phase in FLOORS})
+    record = record_from_bench(results, smoke=True)
+    outcomes = evaluate_gates(record)
+    assert outcomes and all(r.status == "skip" for r in outcomes)
 
 
 def test_cli_smoke(tmp_path, capsys):
@@ -122,5 +146,9 @@ def test_cli_smoke(tmp_path, capsys):
 
     out = tmp_path / "bench.json"
     assert main(["bench", "--smoke", "--output", str(out)]) == 0
-    assert set(json.loads(out.read_text())) == set(PHASES)
+    document = json.loads(out.read_text())
+    assert document["kind"] == "bench"
+    assert document["schema_version"] >= 2
+    assert "raycast.speedup" in document["measurements"]
+    assert set(document["detail"]) == set(PHASES)
     assert "speedup" in capsys.readouterr().out

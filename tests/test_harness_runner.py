@@ -88,6 +88,45 @@ def test_registry_unknown_raises():
         reg.get("nope")
 
 
+def test_registry_unknown_suggests_close_matches():
+    load_all_kernels()
+    with pytest.raises(KeyError, match="did you mean") as exc:
+        registry.get("rrtt")
+    assert "rrt" in str(exc.value)
+    with pytest.raises(KeyError, match="did you mean") as exc:
+        registry.get("pfll")
+    assert "pfl" in str(exc.value)
+
+
+def test_registry_unknown_without_close_match_has_no_hint():
+    load_all_kernels()
+    with pytest.raises(KeyError) as exc:
+        registry.get("zzzzzzz")
+    assert "did you mean" not in str(exc.value)
+
+
+def test_registry_ambiguous_suffix_lists_candidates():
+    @dataclass
+    class _OtherToyConfig(KernelConfig):
+        value: int = option(1, "A number")
+
+    class _OtherToy(Kernel):
+        name = "98.toy"
+        stage = "testing"
+        config_cls = _OtherToyConfig
+
+        def run_roi(self, config, state, profiler):
+            return None
+
+    reg = KernelRegistry()
+    reg.register(_ToyKernel)
+    reg.register(_OtherToy)
+    with pytest.raises(KeyError, match="ambiguous") as exc:
+        reg.get("toy")
+    assert "98.toy" in str(exc.value)
+    assert "99.toy" in str(exc.value)
+
+
 def test_full_suite_registration():
     """All sixteen paper kernels register under their Table I names."""
     load_all_kernels()

@@ -1,0 +1,132 @@
+"""Record-vs-record comparison: deltas, tolerance, direction, rendering."""
+
+from __future__ import annotations
+
+import math
+
+from repro.results import (
+    EnvironmentFingerprint,
+    Measurement,
+    RunRecord,
+    compare_records,
+)
+from repro.results.compare import render_comparison
+
+
+def _record(values, kind="bench", env=None, **measurement_kwargs):
+    measurements = {}
+    for name, spec in values.items():
+        if isinstance(spec, Measurement):
+            measurements[name] = spec
+        else:
+            measurements[name] = Measurement(
+                spec, "ratio", measurement_kwargs.get("higher_is_better", True)
+            )
+    return RunRecord(
+        kind=kind,
+        measurements=measurements,
+        environment=env or EnvironmentFingerprint.unknown(),
+    )
+
+
+def _one(comparison, name):
+    return next(d for d in comparison.deltas if d.name == name)
+
+
+def test_identical_records_have_no_movement():
+    a = _record({"raycast.speedup": 6.0})
+    comparison = compare_records(a, _record({"raycast.speedup": 6.0}))
+    delta = _one(comparison, "raycast.speedup")
+    assert delta.within_tolerance and not delta.regression
+    assert comparison.regressions() == []
+
+
+def test_tolerance_boundary_is_inclusive():
+    a = _record({"m": 100.0})
+    exactly = compare_records(a, _record({"m": 95.0}), tolerance=0.05)
+    assert _one(exactly, "m").within_tolerance
+    beyond = compare_records(a, _record({"m": 94.9}), tolerance=0.05)
+    delta = _one(beyond, "m")
+    assert not delta.within_tolerance
+    assert delta.regression  # higher_is_better dropped beyond tolerance
+
+
+def test_improvement_beyond_tolerance_is_not_a_regression():
+    a = _record({"m": 100.0})
+    comparison = compare_records(a, _record({"m": 150.0}), tolerance=0.05)
+    delta = _one(comparison, "m")
+    assert not delta.within_tolerance and not delta.regression
+
+
+def test_lower_is_better_direction():
+    a = _record({"t": Measurement(1.0, "s", False)})
+    slower = compare_records(
+        a, _record({"t": Measurement(2.0, "s", False)}), tolerance=0.05
+    )
+    assert _one(slower, "t").regression
+    faster = compare_records(
+        a, _record({"t": Measurement(0.5, "s", False)}), tolerance=0.05
+    )
+    assert not _one(faster, "t").regression
+
+
+def test_direction_free_metrics_never_regress():
+    a = _record({"ops": Measurement(100.0, "count", None)})
+    comparison = compare_records(
+        a, _record({"ops": Measurement(50.0, "count", None)})
+    )
+    delta = _one(comparison, "ops")
+    assert not delta.within_tolerance and not delta.regression
+
+
+def test_zero_baseline_requires_exact_match():
+    a = _record({"m": 0.0})
+    same = compare_records(a, _record({"m": 0.0}))
+    assert _one(same, "m").within_tolerance
+    assert _one(same, "m").rel_delta is None
+    moved = compare_records(a, _record({"m": 0.1}))
+    assert not _one(moved, "m").within_tolerance
+
+
+def test_nan_handling():
+    nan = float("nan")
+    a = _record({"m": nan})
+    both = compare_records(a, _record({"m": nan}))
+    assert _one(both, "m").within_tolerance
+    one_sided = compare_records(_record({"m": 1.0}), _record({"m": nan}))
+    delta = _one(one_sided, "m")
+    assert not delta.within_tolerance and delta.regression
+    assert math.isnan(delta.b)
+
+
+def test_disjoint_metrics_are_reported_not_compared():
+    a = _record({"raycast.speedup": 6.0, "old.metric": 1.0})
+    b = _record({"raycast.speedup": 6.0, "new.metric": 1.0})
+    comparison = compare_records(a, b)
+    assert [d.name for d in comparison.deltas] == ["raycast.speedup"]
+    assert comparison.only_in_a == ["old.metric"]
+    assert comparison.only_in_b == ["new.metric"]
+
+
+def test_metrics_glob_restricts_comparison():
+    a = _record({"raycast.speedup": 6.0, "raycast.reference_s": 1.0})
+    b = _record({"raycast.speedup": 5.0, "raycast.reference_s": 2.0})
+    comparison = compare_records(a, b, metrics="*.speedup")
+    assert [d.name for d in comparison.deltas] == ["raycast.speedup"]
+    assert comparison.only_in_a == []
+
+
+def test_environment_differences_surface():
+    a = _record({"m": 1.0}, env=EnvironmentFingerprint(python="3.11"))
+    b = _record({"m": 1.0}, env=EnvironmentFingerprint(python="3.12"))
+    comparison = compare_records(a, b)
+    assert comparison.environment_differences == ["python"]
+
+
+def test_render_comparison_labels_regressions():
+    a = _record({"raycast.speedup": 6.0})
+    b = _record({"raycast.speedup": 3.0})
+    text = render_comparison(compare_records(a, b))
+    assert "raycast.speedup" in text
+    assert "REGRESSED" in text
+    assert "1 regressions" in text

@@ -1,0 +1,435 @@
+"""The declarative gate engine, including the legacy-checker equivalence.
+
+The second half of this module freezes the three retired ad-hoc floor
+checkers (``harness.bench.check_floors``, ``harness.suite.
+check_suite_floors``, ``rt.run.check_rt_floors``) verbatim and proves
+that the shipped gate policy reproduces every pass/fail verdict they
+gave on the committed pre-migration fixtures — including perturbed
+variants that trip each individual check.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import os
+
+import pytest
+
+from repro.results import (
+    Gate,
+    Measurement,
+    ResultStore,
+    RunRecord,
+    default_gates,
+    evaluate_gate,
+    evaluate_gates,
+    record_from_payload,
+)
+from repro.results.gates import (
+    DEFAULT_GATES,
+    gate_failures,
+    gates_from_dicts,
+    gates_from_file,
+    render_gate_results,
+)
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+
+def _bench_record(value=6.0, tags=(), hib=True):
+    return RunRecord(
+        kind="bench",
+        tags=list(tags),
+        measurements={"raycast.speedup": Measurement(value, "ratio", hib)},
+    )
+
+
+def _floor_gate(**overrides):
+    spec = dict(
+        name="floor", kind="bench", metric="raycast.speedup",
+        op=">=", threshold=5.0,
+    )
+    spec.update(overrides)
+    return Gate(**spec)
+
+
+# -- declaration validation ----------------------------------------------------
+
+
+def test_gate_rejects_unknown_op():
+    with pytest.raises(ValueError, match="unknown op"):
+        _floor_gate(op="~=")
+
+
+def test_gate_rejects_bad_on_missing():
+    with pytest.raises(ValueError, match="on_missing"):
+        _floor_gate(on_missing="explode")
+
+
+def test_gate_requires_exactly_one_bound():
+    with pytest.raises(ValueError, match="exactly one"):
+        _floor_gate(threshold=None)
+    with pytest.raises(ValueError, match="exactly one"):
+        _floor_gate(baseline="latest")
+
+
+def test_gate_dict_roundtrip():
+    for spec in DEFAULT_GATES:
+        gate = Gate.from_dict(spec)
+        assert Gate.from_dict(gate.to_dict()) == gate
+
+
+def test_gates_from_file(tmp_path):
+    path = tmp_path / "gates.json"
+    path.write_text(json.dumps(DEFAULT_GATES))
+    assert gates_from_file(str(path)) == default_gates()
+    path.write_text(json.dumps({"not": "a list"}))
+    with pytest.raises(ValueError, match="JSON list"):
+        gates_from_file(str(path))
+
+
+# -- evaluation edge cases -----------------------------------------------------
+
+
+def test_threshold_boundary_is_inclusive_for_ge():
+    gate = _floor_gate()
+    assert evaluate_gate(gate, _bench_record(5.0)).passed
+    assert evaluate_gate(gate, _bench_record(4.999)).failed
+
+
+def test_exact_equality_op():
+    gate = _floor_gate(op="==", threshold=0.0)
+    assert evaluate_gate(gate, _bench_record(0.0)).passed
+    assert evaluate_gate(gate, _bench_record(1e-9)).failed
+
+
+def test_kind_mismatch_skips():
+    result = evaluate_gate(
+        _floor_gate(kind="suite"), _bench_record(1.0)
+    )
+    assert result.status == "skip"
+    assert "kind" in result.reason
+
+
+def test_skip_tags_exempt_tagged_records():
+    gate = _floor_gate(skip_tags=("smoke",))
+    assert evaluate_gate(gate, _bench_record(1.0, tags=["smoke"])).status == (
+        "skip"
+    )
+    assert evaluate_gate(gate, _bench_record(1.0)).failed
+
+
+def test_missing_metric_policy():
+    empty = RunRecord(kind="bench")
+    assert evaluate_gate(_floor_gate(on_missing="fail"), empty).failed
+    assert evaluate_gate(
+        _floor_gate(on_missing="skip"), empty
+    ).status == "skip"
+
+
+def test_nan_metric_always_fails():
+    nan_record = _bench_record(float("nan"))
+    result = evaluate_gate(_floor_gate(on_missing="skip"), nan_record)
+    assert result.failed
+    assert "NaN" in result.reason
+
+
+def test_evaluate_gates_drops_other_kind_gates():
+    results = evaluate_gates(_bench_record(6.0))
+    assert results
+    assert all(r.gate.startswith("bench.") for r in results)
+
+
+def test_render_gate_results_summarizes_verdict():
+    record = _bench_record(1.0)
+    text = render_gate_results(record, evaluate_gates(record))
+    assert "bench.raycast-speedup-floor" in text
+    assert "-> FAIL" in text
+
+
+# -- baseline gates ------------------------------------------------------------
+
+
+def _baseline_gate(**overrides):
+    spec = dict(
+        name="vs-baseline", kind="bench", metric="raycast.speedup",
+        baseline="latest", max_regression=0.1, on_missing="skip",
+    )
+    spec.update(overrides)
+    return Gate(**spec)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(str(tmp_path / "results"))
+
+
+def test_baseline_gate_allows_bounded_regression(store):
+    store.save(_bench_record(6.0))
+    gate = _baseline_gate()
+    assert evaluate_gate(gate, _bench_record(5.5), store).passed
+    result = evaluate_gate(gate, _bench_record(5.3), store)
+    assert result.failed
+    assert "regressed vs baseline" in result.reason
+
+
+def test_baseline_gate_lower_is_better_direction(store):
+    store.save(
+        RunRecord(
+            kind="bench",
+            measurements={"t.wall_s": Measurement(1.0, "s", False)},
+        )
+    )
+    gate = _baseline_gate(metric="t.wall_s")
+    slower_ok = RunRecord(
+        kind="bench",
+        measurements={"t.wall_s": Measurement(1.05, "s", False)},
+    )
+    assert evaluate_gate(gate, slower_ok, store).passed
+    too_slow = RunRecord(
+        kind="bench",
+        measurements={"t.wall_s": Measurement(1.2, "s", False)},
+    )
+    assert evaluate_gate(gate, too_slow, store).failed
+
+
+def test_baseline_gate_without_store_follows_on_missing():
+    assert evaluate_gate(
+        _baseline_gate(on_missing="skip"), _bench_record(5.0)
+    ).status == "skip"
+    assert evaluate_gate(
+        _baseline_gate(on_missing="fail"), _bench_record(5.0)
+    ).failed
+
+
+def test_baseline_gate_missing_baseline_record(store):
+    result = evaluate_gate(_baseline_gate(), _bench_record(5.0), store)
+    assert result.status == "skip"
+    assert "no baseline record" in result.reason
+
+
+def test_baseline_gate_skips_when_baseline_lacks_metric(store):
+    store.save(RunRecord(kind="bench"))
+    result = evaluate_gate(_baseline_gate(), _bench_record(5.0), store)
+    assert result.status == "skip"
+    assert "lacks metric" in result.reason
+
+
+def test_baseline_gate_steps_past_the_record_under_test(store):
+    store.save(_bench_record(6.0))
+    candidate = _bench_record(5.5)
+    store.save(candidate)
+    # "latest" resolves to the candidate itself; the engine steps back
+    # one entry so a freshly stored run is judged against its
+    # predecessor, not itself.
+    assert evaluate_gate(_baseline_gate(), candidate, store).passed
+    lone = ResultStore(store.root + "-lone")
+    only = _bench_record(5.5)
+    lone.save(only)
+    result = evaluate_gate(_baseline_gate(), only, lone)
+    assert result.status == "skip"
+    assert "record under test" in result.reason
+
+
+def test_baseline_gate_needs_a_direction(store):
+    store.save(_bench_record(6.0, hib=None))
+    result = evaluate_gate(
+        _baseline_gate(), _bench_record(5.5, hib=None), store
+    )
+    assert result.status == "skip"
+    assert "direction-free" in result.reason
+
+
+# == equivalence with the retired ad-hoc checkers ==============================
+#
+# Frozen verbatim from the pre-migration sources (the functions these
+# gates replaced).  Do not modernize: the point is bit-for-bit verdict
+# agreement on the same payloads.
+
+LEGACY_SPEEDUP_FLOORS = {"raycast": 5.0, "collision": 3.0, "nn": 2.0}
+
+LEGACY_SUITE_FLOORS = {"parallel_speedup": 2.0, "cache_hit_speedup": 5.0}
+
+
+def legacy_check_floors(results, floors=LEGACY_SPEEDUP_FLOORS):
+    failures = []
+    for phase, floor in floors.items():
+        if phase not in results:
+            failures.append(f"{phase}: missing from results")
+            continue
+        speedup = results[phase]["speedup"]
+        if speedup < floor:
+            failures.append(
+                f"{phase}: speedup {speedup:.2f}x below floor {floor:.1f}x"
+            )
+    return failures
+
+
+def legacy_check_suite_floors(report, floors=LEGACY_SUITE_FLOORS):
+    failures = []
+    for row in report["tasks"]:
+        if not row["ok"]:
+            reason = "timed out" if row.get("timed_out") else "failed"
+            failures.append(f"task {row['task']}: {reason}")
+    determinism = report.get("determinism", {})
+    if determinism.get("checked") and not determinism.get("matches"):
+        failures.append(
+            "determinism: parallel and serial fingerprints differ for "
+            + ", ".join(determinism.get("mismatches", []))
+        )
+    speedup = report["suite"].get("parallel_speedup")
+    floor = floors.get("parallel_speedup")
+    if speedup is not None and floor is not None and speedup < floor:
+        failures.append(
+            f"parallel_speedup: {speedup:.2f}x below floor {floor:.1f}x"
+        )
+    hit_speedup = report["cache"]["probe"]["hit_speedup"]
+    floor = floors.get("cache_hit_speedup")
+    if floor is not None and hit_speedup < floor:
+        failures.append(
+            f"cache_hit_speedup: {hit_speedup:.2f}x below floor "
+            f"{floor:.1f}x"
+        )
+    return failures
+
+
+def legacy_check_rt_floors(report):
+    if report["rt"]["smoke"]:
+        return []
+    failures = []
+    if report["slo"]["verdict"] != "pass":
+        failures.extend(
+            f"slo: {reason}" for reason in report["slo"]["reasons"]
+        )
+    degradation = report.get("degradation")
+    if degradation is not None and degradation["p99_ratio"] <= 1.0:
+        failures.append(
+            f"interference: p99 ratio {degradation['p99_ratio']:.3f}x "
+            "under antagonist load (expected > 1.0x)"
+        )
+    return failures
+
+
+LEGACY_CHECKERS = {
+    "bench": legacy_check_floors,
+    "suite": legacy_check_suite_floors,
+    "rt": legacy_check_rt_floors,
+}
+
+
+def _fixture(kind):
+    names = {"bench": "hotpaths", "suite": "suite", "rt": "rt"}
+    with open(f"{FIXTURES}/legacy_BENCH_{names[kind]}.json") as fh:
+        return json.load(fh)
+
+
+def _verdicts(kind, payload):
+    """(legacy verdict, gate verdict) for one payload; True = fail."""
+    legacy_failed = bool(LEGACY_CHECKERS[kind](payload))
+    record = record_from_payload(payload)
+    gates_failed = bool(gate_failures(evaluate_gates(record)))
+    return legacy_failed, gates_failed
+
+
+def _perturbations(kind):
+    """Deterministic payload variants tripping each individual check."""
+    base = _fixture(kind)
+    variants = [("as-committed", base)]
+
+    def variant(label, mutate):
+        payload = copy.deepcopy(base)
+        mutate(payload)
+        variants.append((label, payload))
+
+    if kind == "bench":
+        variant("raycast-below-floor",
+                lambda p: p["raycast"].__setitem__("speedup", 4.9))
+        variant("collision-below-floor",
+                lambda p: p["collision"].__setitem__("speedup", 1.0))
+        variant("nn-missing", lambda p: p.pop("nn"))
+        variant("all-comfortably-above",
+                lambda p: [row.__setitem__("speedup", 50.0)
+                           for row in p.values()])
+    elif kind == "suite":
+        variant("speedup-above-floor",
+                lambda p: p["suite"].__setitem__("parallel_speedup", 2.5))
+
+        def good_but_nondeterministic(p):
+            p["suite"]["parallel_speedup"] = 2.5
+            p["determinism"].update(
+                checked=True, matches=False, mismatches=["bench:raycast"]
+            )
+
+        variant("determinism-mismatch", good_but_nondeterministic)
+
+        def good_but_failed_task(p):
+            p["suite"]["parallel_speedup"] = 2.5
+            p["tasks"][0]["ok"] = False
+            p["suite"]["failures"] = 1
+
+        variant("failed-task", good_but_failed_task)
+
+        def good_but_cold_cache(p):
+            p["suite"]["parallel_speedup"] = 2.5
+            p["cache"]["probe"]["hit_speedup"] = 1.0
+
+        variant("cache-hit-below-floor", good_but_cold_cache)
+
+        def serial_only(p):
+            p["suite"]["parallel_speedup"] = None
+            p["suite"]["serial_wall_s"] = None
+            p["determinism"] = {"checked": False, "matches": None,
+                                "mismatches": []}
+
+        variant("serial-only-no-floor", serial_only)
+    else:
+        def slo_fail(p):
+            p["slo"]["verdict"] = "fail"
+            p["slo"]["reasons"] = ["miss rate 1.00 above bound 0.10"]
+
+        variant("slo-fail", slo_fail)
+        variant("non-degrading-interference",
+                lambda p: p["degradation"].__setitem__("p99_ratio", 0.98))
+        variant("unloaded-only", lambda p: p.__setitem__("degradation", None))
+
+        def smoke_exempts_everything(p):
+            p["rt"]["smoke"] = True
+            p["slo"]["verdict"] = "fail"
+            p["slo"]["reasons"] = ["miss rate 1.00 above bound 0.10"]
+            p["degradation"]["p99_ratio"] = 0.98
+
+        variant("smoke-exempt", smoke_exempts_everything)
+    return variants
+
+
+@pytest.mark.parametrize("kind", ["bench", "suite", "rt"])
+def test_gates_reproduce_legacy_verdicts(kind):
+    """Acceptance: the gate engine agrees with the retired checker on the
+    committed pre-migration fixture and on every perturbed variant."""
+    for label, payload in _perturbations(kind):
+        legacy_failed, gates_failed = _verdicts(kind, payload)
+        assert legacy_failed == gates_failed, (
+            f"{kind}/{label}: legacy checker "
+            f"{'failed' if legacy_failed else 'passed'} but gate engine "
+            f"{'failed' if gates_failed else 'passed'}"
+        )
+
+
+def test_committed_suite_fixture_fails_both_paths_on_the_same_check():
+    """The committed BENCH_suite.json (1-core run, parallel speedup
+    0.73x) fails the speedup floor under both the frozen checker and the
+    gate engine — and under nothing else."""
+    payload = _fixture("suite")
+    legacy = legacy_check_suite_floors(payload)
+    assert len(legacy) == 1 and "parallel_speedup" in legacy[0]
+    failed = gate_failures(evaluate_gates(record_from_payload(payload)))
+    assert [r.gate for r in failed] == ["suite.parallel-speedup-floor"]
+
+
+def test_committed_bench_and_rt_fixtures_pass_both_paths():
+    for kind in ("bench", "rt"):
+        payload = _fixture(kind)
+        assert LEGACY_CHECKERS[kind](payload) == []
+        record = record_from_payload(payload)
+        assert gate_failures(evaluate_gates(record)) == []

@@ -7,11 +7,16 @@ import json
 import pytest
 
 from repro.harness.cli import main
+from repro.results import evaluate_gates, record_from_rt
 from repro.rt.interference import AntagonistPool
-from repro.rt.run import check_rt_floors, run_rt
+from repro.rt.run import run_rt
 
 #: Tiny cem configuration: sub-millisecond jobs keep these tests fast.
 CEM_OVERRIDES = dict(iterations=1, samples=3)
+
+
+def _gate_by_name(record):
+    return {r.gate: r for r in evaluate_gates(record)}
 
 
 @pytest.fixture(scope="module")
@@ -65,8 +70,21 @@ def test_report_phase_breakdown_uses_shared_profiler_stats(smoke_report):
     )
 
 
-def test_smoke_reports_are_floor_exempt(smoke_report):
-    assert check_rt_floors(smoke_report) == []
+def test_smoke_records_are_gate_exempt(smoke_report):
+    record = record_from_rt(smoke_report)
+    assert record.has_tag("smoke")
+    outcomes = evaluate_gates(record)
+    assert outcomes and all(r.status == "skip" for r in outcomes)
+
+
+def test_rt_record_measurements(smoke_report):
+    record = record_from_rt(smoke_report)
+    assert record.kind == "rt"
+    assert record.metric("rt.period_ms") == pytest.approx(5.0)
+    assert record.metric("slo.pass") in (0.0, 1.0)
+    assert record.metric("unloaded.response_p99_ms") > 0.0
+    assert record.metric("unloaded.miss_rate") is not None
+    assert record.provenance["kernel"] == "15.cem"
 
 
 def test_default_period_comes_from_config_table():
@@ -88,7 +106,7 @@ def test_zero_period_auto_calibrates():
     assert report["rt"]["period_ms"] > 0.0
 
 
-def test_check_rt_floors_flags_failed_slo():
+def test_slo_gate_flags_failed_slo():
     report = run_rt(
         "cem",
         period_ms=5.0,
@@ -100,19 +118,32 @@ def test_check_rt_floors_flags_failed_slo():
     )
     assert report["conditions"]["unloaded"]["miss_rate"] == 1.0
     assert report["slo"]["verdict"] == "fail"
-    failures = check_rt_floors(report)
-    assert any("miss rate" in f for f in failures)
+    by_name = _gate_by_name(record_from_rt(report))
+    assert by_name["rt.slo-pass"].failed
 
 
-def test_check_rt_floors_flags_non_degrading_interference():
+def test_interference_gate_flags_non_degrading_interference():
     report = {
-        "rt": {"smoke": False},
+        "rt": {"period_ms": 5.0, "deadline_ms": 5.0, "smoke": False},
+        "conditions": {},
         "slo": {"verdict": "pass", "reasons": []},
         "degradation": {"p50_ratio": 1.0, "p99_ratio": 0.98,
                         "miss_rate_delta": 0.0},
     }
-    failures = check_rt_floors(report)
-    assert any("interference" in f for f in failures)
+    by_name = _gate_by_name(record_from_rt(report))
+    assert by_name["rt.slo-pass"].passed
+    assert by_name["rt.interference-degrades"].failed
+
+
+def test_interference_gate_skips_unloaded_only_run():
+    report = {
+        "rt": {"period_ms": 5.0, "deadline_ms": 5.0, "smoke": False},
+        "conditions": {},
+        "slo": {"verdict": "pass", "reasons": []},
+        "degradation": None,
+    }
+    by_name = _gate_by_name(record_from_rt(report))
+    assert by_name["rt.interference-degrades"].status == "skip"
 
 
 def test_unknown_kernel_raises():
@@ -169,6 +200,11 @@ def test_run_rt_with_antagonists_records_both_conditions():
     assert degradation is not None
     assert degradation["p99_ratio"] > 0.0
     assert "miss_rate_delta" in degradation
+    record = record_from_rt(report)
+    assert record.metric("loaded.response_p99_ms") > 0.0
+    assert record.metric("degradation.p99_ratio") == pytest.approx(
+        degradation["p99_ratio"]
+    )
 
 
 # -- CLI -----------------------------------------------------------------------
@@ -187,7 +223,14 @@ def test_cli_rt_smoke_end_to_end(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "rt 15.cem" in out
     assert "SLO:" in out
-    report = json.loads(target.read_text())
+    assert "record stored at" in out
+    document = json.loads(target.read_text())
+    assert document["kind"] == "rt"
+    assert document["schema_version"] >= 2
+    assert "unloaded.response_p99_ms" in document["measurements"]
+    assert "slo.pass" in document["measurements"]
+    # The nested legacy report survives as the record's detail payload.
+    report = document["detail"]
     assert set(report) == {"rt", "conditions", "degradation", "slo"}
     unloaded = report["conditions"]["unloaded"]
     for key in ("p50", "p99", "max"):
@@ -202,7 +245,7 @@ def test_cli_rt_unknown_kernel_errors(capsys):
     assert "error" in capsys.readouterr().err
 
 
-def test_cli_rt_impossible_deadline_fails_floors(tmp_path, capsys):
+def test_cli_rt_impossible_deadline_fails_gates(tmp_path, capsys):
     code = main(
         [
             "rt", "cem", "--jobs", "3", "--warmup", "0",
@@ -212,10 +255,10 @@ def test_cli_rt_impossible_deadline_fails_floors(tmp_path, capsys):
         ]
     )
     assert code == 1
-    assert "RT VIOLATION" in capsys.readouterr().err
+    assert "GATE FAILURE rt.slo-pass" in capsys.readouterr().err
 
 
-def test_cli_rt_no_check_suppresses_floor_exit(tmp_path):
+def test_cli_rt_no_check_suppresses_gate_exit(tmp_path):
     code = main(
         [
             "rt", "cem", "--jobs", "3", "--warmup", "0",
