@@ -276,9 +276,14 @@ def _cmd_suite(argv: List[str]) -> int:
         help="record path (default: BENCH_suite.json)",
     )
     parser.add_argument(
-        "--no-serial-compare",
+        "--baseline",
         action="store_true",
-        help="skip the serial comparison pass (no speedup/determinism row)",
+        help=(
+            "re-run the task list serially after the parallel pass to "
+            "measure speedup directly (doubles wall time); without it "
+            "the comparison is derived from the latest comparable "
+            "serial record in the result store"
+        ),
     )
     parser.add_argument(
         "--no-check",
@@ -302,8 +307,9 @@ def _cmd_suite(argv: List[str]) -> int:
             smoke=args.smoke,
             seed=args.seed,
             timeout=args.timeout,
-            compare_serial=not args.no_serial_compare,
+            baseline=args.baseline,
             task_filter=args.filter,
+            results_dir=args.results_dir,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)

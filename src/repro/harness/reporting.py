@@ -174,7 +174,7 @@ def render_rt_report(report: Dict[str, Any]) -> str:
 
 
 def render_suite_report(report: Dict[str, Any]) -> str:
-    """Human view of a ``run_suite`` report: task table + wall-clock summary."""
+    """Human view of a ``run_suite`` report: task table + executor summary."""
     rows = []
     for row in report["tasks"]:
         if row["ok"]:
@@ -188,22 +188,57 @@ def render_suite_report(report: Dict[str, Any]) -> str:
                 row["task"],
                 status,
                 f"{row['wall_s']:.3f}s",
+                f"{row.get('exec_s', 0.0):.3f}s",
+                f"{row.get('queue_wait_s', 0.0):.3f}s",
                 f"{row.get('roi_s', 0.0):.3f}s" if row["ok"] else "-",
-                f"{row.get('setup_s', 0.0):.3f}s" if row["ok"] else "-",
+                "-" if row.get("worker") is None else f"w{row['worker']}",
             ]
         )
     lines = [
-        format_table(["task", "status", "wall", "ROI", "setup"], rows)
+        format_table(
+            ["task", "status", "wall", "exec", "queued", "ROI", "worker"],
+            rows,
+        )
     ]
     suite = report["suite"]
     lines.append(
         f"suite: {suite['task_count']} tasks, {suite['failures']} failures, "
         f"jobs={suite['jobs']}, wall={suite['wall_s']:.2f}s"
     )
-    if suite.get("serial_wall_s"):
+    executor = suite.get("executor")
+    if executor:
+        extras = []
+        if executor.get("respawns"):
+            extras.append(f"{executor['respawns']} respawns")
+        if executor.get("shm_segments"):
+            extras.append(
+                f"{executor['shm_segments']} shm segments "
+                f"({executor['shm_bytes'] / 1e6:.1f} MB)"
+            )
+        utilization = suite.get("worker_utilization")
+        share = suite.get("dispatch_overhead_share")
         lines.append(
-            f"serial comparison: {suite['serial_wall_s']:.2f}s "
-            f"(parallel speedup {suite['parallel_speedup']:.2f}x)"
+            f"executor: {executor['workers']} workers "
+            f"({executor['scheduling']}), "
+            f"utilization {utilization:.0%}, "
+            f"dispatch overhead {suite['dispatch_overhead_s']:.3f}s "
+            f"({share:.1%} of task time)"
+            + ("; " + ", ".join(extras) if extras else "")
+            if utilization is not None and share is not None
+            else f"executor: {executor['workers']} workers "
+            f"({executor['scheduling']})"
+        )
+    if suite.get("serial_wall_s"):
+        source = suite.get("baseline_source")
+        lines.append(
+            f"serial baseline: {suite['serial_wall_s']:.2f}s "
+            f"(parallel speedup {suite['parallel_speedup']:.2f}x"
+            + (f", from {source}" if source else "")
+            + ")"
+        )
+    elif suite.get("parallel_speedup_reason"):
+        lines.append(
+            f"parallel speedup: n/a ({suite['parallel_speedup_reason']})"
         )
     probe = report["cache"]["probe"]
     lines.append(

@@ -1,0 +1,325 @@
+"""Shared-memory workload plane: publish once, attach zero-copy.
+
+The suite's large read-only workloads — occupancy grids, voxel volumes,
+point clouds — are pure functions of their parameters and are already
+content-keyed by :mod:`repro.envs.cache`.  Before this layer, every
+worker process re-read them from the disk cache (one unpickle *per
+worker per artifact*).  Here the parent **publishes** each artifact once
+into a POSIX shared-memory segment and workers **attach** zero-copy:
+
+* :func:`serialize` pickles the value with protocol 5, extracting every
+  large contiguous buffer (numpy arrays) out of band; the segment holds
+  ``[header][meta pickle][buffer bytes...]`` with no copies on attach —
+  :func:`attach_value` reconstructs the object with its arrays as views
+  straight into the mapped segment.
+* :class:`SharedWorkloadPlane` is the parent-side registry.  Segments
+  are unlinked on :meth:`close`, at interpreter exit (``atexit``), and —
+  because creation registers with ``multiprocessing.resource_tracker`` —
+  even when the parent is SIGKILLed.
+* :class:`AttachedSegmentCache` is the per-worker LRU of attached
+  segments: repeat hits cost a dict lookup, eviction detaches (and is
+  safe against values still referencing the mapping).
+
+Attaching processes skip resource-tracker registration entirely (the
+well-known attach-side tracker over-eagerness, fixed only in Python
+3.13's ``track=False``) so a worker's exit can never unlink — nor its
+tracker bookkeeping ever shadow — a segment the parent still serves.
+
+Segment names carry the :data:`SEGMENT_PREFIX` plus the creating
+process id, so :func:`list_segments` can audit a machine for leaks (CI
+asserts the list is empty after a suite run).
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import pickle
+import struct
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Any, Dict, List, Optional, Tuple
+
+try:  # pragma: no cover - shared_memory ships with CPython >= 3.8
+    from multiprocessing import resource_tracker, shared_memory
+
+    HAVE_SHARED_MEMORY = True
+except ImportError:  # pragma: no cover - exotic minimal builds
+    HAVE_SHARED_MEMORY = False
+
+#: Every segment this suite creates starts with this prefix.
+SEGMENT_PREFIX = "rtrbench"
+
+#: Default ceiling on the bytes one plane may publish (512 MiB).
+DEFAULT_MAX_PLANE_BYTES = 512 * 1024 * 1024
+
+#: ``struct`` format for the one fixed-size field: the header length.
+_LEN = struct.Struct(">Q")
+
+
+def segment_name(key: str) -> str:
+    """Segment name for a content key: prefix + creator pid + key."""
+    return f"{SEGMENT_PREFIX}-{os.getpid():x}-{key[:24]}"
+
+
+def serialize(value: Any) -> Tuple[bytes, List[Any]]:
+    """Split a value into a meta pickle and its out-of-band buffers.
+
+    Returns ``(header, chunks)`` where ``chunks[0]`` is the protocol-5
+    meta pickle and the rest are the raw buffers it references; the
+    header records every chunk's byte length.  Values whose buffers are
+    not contiguous fall back to a single in-band pickle chunk.
+    """
+    buffers: List[Any] = []
+    try:
+        meta = pickle.dumps(
+            value, protocol=5, buffer_callback=buffers.append
+        )
+        chunks: List[Any] = [meta]
+        chunks.extend(b.raw() for b in buffers)
+    except (pickle.PicklingError, BufferError, TypeError, ValueError):
+        chunks = [pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)]
+    lengths = [memoryview(chunk).nbytes for chunk in chunks]
+    header = pickle.dumps(lengths)
+    return header, chunks
+
+
+def deserialize(buf: memoryview) -> Any:
+    """Rebuild a value from a segment buffer, arrays as zero-copy views.
+
+    The reconstructed object's buffers alias ``buf`` — the mapping must
+    outlive the value (the attach cache guarantees that).
+    """
+    (header_len,) = _LEN.unpack_from(buf, 0)
+    offset = _LEN.size
+    lengths = pickle.loads(bytes(buf[offset:offset + header_len]))
+    offset += header_len
+    views: List[memoryview] = []
+    for length in lengths:
+        views.append(buf[offset:offset + length])
+        offset += length
+    meta = bytes(views[0])
+    return pickle.loads(meta, buffers=views[1:])
+
+
+@contextmanager
+def _untracked_attach() -> Any:
+    """Suppress resource-tracker registration for the duration of an attach.
+
+    ``SharedMemory(name=...)`` registers the segment even when merely
+    attaching (fixed only in Python 3.13's ``track=False``).  That
+    registration is wrong in both process models: a *spawned* attacher's
+    private tracker would unlink the segment when the attacher exits,
+    and a *forked* attacher shares the parent's tracker, where a
+    compensating unregister would instead erase the creator's own
+    registration (losing hard-kill cleanup).  Not registering at all is
+    the only behavior correct under both.
+    """
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        yield
+    finally:
+        resource_tracker.register = original
+
+
+def attach_segment(name: str) -> Any:
+    """Attach an existing segment (tracker-neutral); caller must close."""
+    with _untracked_attach():
+        return shared_memory.SharedMemory(name=name)
+
+
+def attach_value(name: str) -> Tuple[Any, Any]:
+    """Attach a segment and rebuild its value; returns ``(value, shm)``.
+
+    The caller owns the ``shm`` handle and must keep it open for as long
+    as the value (or any view of it) is alive.
+    """
+    shm = attach_segment(name)
+    try:
+        return deserialize(shm.buf), shm
+    except Exception:
+        try:
+            shm.close()
+        except Exception:  # pragma: no cover
+            pass
+        raise
+
+
+def list_segments(prefix: str = SEGMENT_PREFIX) -> List[str]:
+    """Names of live shared-memory segments carrying ``prefix``.
+
+    Reads ``/dev/shm`` (Linux); on platforms without it the scan returns
+    empty rather than guessing.  This is the leak audit CI runs after
+    the suite: a clean shutdown leaves nothing to list.
+    """
+    shm_dir = "/dev/shm"
+    if not os.path.isdir(shm_dir):  # pragma: no cover - non-Linux
+        return []
+    try:
+        return sorted(
+            name for name in os.listdir(shm_dir) if name.startswith(prefix)
+        )
+    except OSError:  # pragma: no cover - racing teardown
+        return []
+
+
+class SharedWorkloadPlane:
+    """Parent-side registry of published segments with guaranteed unlink.
+
+    ``publish`` lays one value into one segment; ``mapping`` hands the
+    ``{content key -> segment name}`` table to workers (installed before
+    the pool forks, so children inherit it).  ``close`` — idempotent,
+    registered with ``atexit``, and additionally covered by the resource
+    tracker against hard kills — unlinks everything.
+    """
+
+    def __init__(self, max_bytes: int = DEFAULT_MAX_PLANE_BYTES) -> None:
+        self.max_bytes = max_bytes
+        self.total_bytes = 0
+        self._segments: Dict[str, Any] = {}   # key -> SharedMemory
+        self._names: Dict[str, str] = {}      # key -> segment name
+        self._closed = False
+        if HAVE_SHARED_MEMORY:
+            atexit.register(self.close)
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def publish(self, key: str, value: Any) -> bool:
+        """Publish one value under a content key; False when skipped.
+
+        Skips (without failing) when shared memory is unavailable, the
+        plane is at its byte budget, the key is already published, or
+        the OS refuses the segment — publication is an optimization,
+        never a correctness requirement.
+        """
+        if not HAVE_SHARED_MEMORY or self._closed or key in self._segments:
+            return False
+        try:
+            header, chunks = serialize(value)
+        except Exception:
+            return False
+        size = (
+            _LEN.size
+            + len(header)
+            + sum(memoryview(chunk).nbytes for chunk in chunks)
+        )
+        if size <= 0 or self.total_bytes + size > self.max_bytes:
+            return False
+        name = segment_name(key)
+        try:
+            shm = shared_memory.SharedMemory(
+                name=name, create=True, size=size
+            )
+        except (OSError, ValueError):
+            return False
+        offset = 0
+        _LEN.pack_into(shm.buf, offset, len(header))
+        offset += _LEN.size
+        shm.buf[offset:offset + len(header)] = header
+        offset += len(header)
+        for chunk in chunks:
+            view = memoryview(chunk).cast("B")
+            shm.buf[offset:offset + view.nbytes] = view
+            offset += view.nbytes
+        self._segments[key] = shm
+        self._names[key] = name
+        self.total_bytes += size
+        return True
+
+    def mapping(self) -> Dict[str, str]:
+        """``{content key -> segment name}`` for worker installation."""
+        return dict(self._names)
+
+    def close(self) -> None:
+        """Unlink every published segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for shm in self._segments.values():
+            try:
+                shm.close()
+            except Exception:  # pragma: no cover
+                pass
+            try:
+                shm.unlink()
+            except Exception:  # pragma: no cover - already gone
+                pass
+        self._segments.clear()
+        self._names.clear()
+        if HAVE_SHARED_MEMORY:
+            try:
+                atexit.unregister(self.close)
+            except Exception:  # pragma: no cover
+                pass
+
+    def __enter__(self) -> "SharedWorkloadPlane":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def _detach(shm: Any) -> None:
+    """Close an attached handle, tolerating values that outlive it.
+
+    When views into the mapping are still exported, ``close`` raises
+    ``BufferError``; the handle is then neutralized so its ``__del__``
+    does not retry (and noisily fail) — the live views keep the mapping
+    alive and the OS reclaims it at process exit.
+    """
+    try:
+        shm.close()
+    except BufferError:
+        shm._mmap = None
+        shm._buf = None
+    except Exception:  # pragma: no cover
+        pass
+
+
+class AttachedSegmentCache:
+    """Per-process LRU of attached segments and their rebuilt values.
+
+    ``get`` returns the shm-backed value (callers must copy before
+    mutating — the workload cache deep-copies, preserving its existing
+    contract).  Eviction detaches the mapping; a value still referenced
+    elsewhere keeps its buffer exported, in which case the close is
+    deferred to process exit rather than invalidating live views.
+    """
+
+    def __init__(self, max_items: int = 8) -> None:
+        self.max_items = max_items
+        self._entries: "OrderedDict[str, Tuple[Any, Any]]" = OrderedDict()
+        self.attach_count = 0
+
+    def get(self, name: str) -> Optional[Any]:
+        """Value for a segment name, attaching on first use."""
+        if not HAVE_SHARED_MEMORY:
+            return None
+        entry = self._entries.get(name)
+        if entry is not None:
+            self._entries.move_to_end(name)
+            return entry[0]
+        try:
+            value, shm = attach_value(name)
+        except (OSError, ValueError, pickle.UnpicklingError, EOFError,
+                AttributeError, ImportError):
+            return None
+        self.attach_count += 1
+        self._entries[name] = (value, shm)
+        while len(self._entries) > self.max_items:
+            _, (old_value, old_shm) = self._entries.popitem(last=False)
+            del old_value
+            _detach(old_shm)
+        return value
+
+    def close(self) -> None:
+        """Detach everything (same deferred-close rule as eviction)."""
+        while self._entries:
+            _, (value, shm) = self._entries.popitem(last=False)
+            del value
+            _detach(shm)
+
+    def __len__(self) -> int:
+        return len(self._entries)

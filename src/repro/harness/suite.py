@@ -8,17 +8,22 @@ through :func:`repro.harness.parallel.map_tasks`:
 
 * every kernel / bench phase / sweep point is an isolated task; one that
   raises or hangs becomes a failure row in the report while the rest of
-  the suite completes;
+  the suite completes (the pool respawns lost workers);
 * workload setup goes through the content-keyed cache
-  (:mod:`repro.envs.cache`), so characterization, bench, and the sweep
-  stop rebuilding the same maps and clouds;
-* with ``jobs > 1`` a second, serial pass records the
-  serial-vs-parallel wall clock and cross-checks that both passes
-  produced identical per-task fingerprints (operation counters — the
-  timing-free part of each result), the suite's determinism guarantee.
+  (:mod:`repro.envs.cache`); with ``jobs > 1`` the parent additionally
+  publishes its cached artifacts into a shared-memory plane
+  (:mod:`repro.harness.shm`) that workers attach zero-copy, and orders
+  dispatch longest-first using per-task durations from the previous run
+  record;
+* the serial baseline is opt-in (``baseline=True`` runs the task list a
+  second time, inline) or derived from the latest comparable serial
+  record in the result store; either way the run cross-checks per-task
+  fingerprints (operation counters — the timing-free part of each
+  result) against the baseline, the suite's determinism guarantee.
 
-``run_suite`` returns a machine-readable report with per-task ROI and
-setup time, cache hit/miss accounting, wall clocks, and worker count;
+``run_suite`` returns a machine-readable report with per-task ROI,
+queue-wait, and execution time, cache hit/miss accounting, wall clocks,
+and an executor breakdown (worker utilization, dispatch overhead);
 ``rtrbench suite`` wraps it into a
 :class:`~repro.results.record.RunRecord` (``BENCH_suite.json``) whose
 measurements — ``suite.failures``, ``suite.parallel_speedup``,
@@ -250,7 +255,14 @@ def _cache_probe(smoke: bool = False, seed: int = 7) -> Dict[str, Any]:
 
 
 def _rows(results: Sequence[TaskResult]) -> List[Dict[str, Any]]:
-    """TaskResults -> report rows (failure rows keep the worker traceback)."""
+    """TaskResults -> report rows (failure rows keep the worker traceback).
+
+    Each row carries the executor's per-task accounting alongside the
+    task payload: ``exec_s`` (worker-measured execution), ``wall_s``
+    (parent-observed dispatch-to-result, so ``wall_s - exec_s`` is the
+    dispatch overhead), ``queue_wait_s`` (time spent scheduled but not
+    yet dispatched), and ``worker`` (which pool worker ran it).
+    """
     rows = []
     for result in results:
         row: Dict[str, Any] = {
@@ -264,6 +276,9 @@ def _rows(results: Sequence[TaskResult]) -> List[Dict[str, Any]]:
             row.update(result.value)
         else:
             row["error"] = result.error
+        row["exec_s"] = result.exec_s
+        row["queue_wait_s"] = result.queue_wait_s
+        row["worker"] = result.worker_id
         rows.append(row)
     return rows
 
@@ -304,59 +319,250 @@ def filter_tasks(
     return selected
 
 
+def _task_priorities(
+    tasks: Sequence[Dict[str, Any]], store: Any
+) -> Optional[List[float]]:
+    """Per-task duration hints from the newest stored suite record.
+
+    Feeds longest-first scheduling: a task's priority is its execution
+    time the last time the suite ran (``tasks.<name>.exec_s``, falling
+    back to ``wall_s`` for older records), 0.0 when unknown.  Returns
+    ``None`` — input order — when no record knows any of these tasks.
+    """
+    if store is None:
+        return None
+    try:
+        record = store.latest("suite")
+    except Exception:
+        return None
+    if record is None:
+        return None
+    priorities: List[float] = []
+    known = 0
+    for task in tasks:
+        name = task["name"]
+        measurement = record.measurements.get(
+            f"tasks.{name}.exec_s"
+        ) or record.measurements.get(f"tasks.{name}.wall_s")
+        if measurement is None:
+            priorities.append(0.0)
+        else:
+            priorities.append(float(measurement.value))
+            known += 1
+    return priorities if known else None
+
+
+def _find_serial_baseline(
+    store: Any, names: Sequence[str], smoke: bool, seed: int
+) -> Optional[Dict[str, Any]]:
+    """Newest stored record usable as a serial baseline for this run.
+
+    Comparable means: same smoke mode, same seed, the exact same task
+    list, and no failed rows.  A ``jobs <= 1`` record contributes its
+    own wall clock; a parallel record is usable only when it measured an
+    inline serial pass *and* that pass matched fingerprints (which makes
+    its stored per-task fingerprints valid serial fingerprints too).
+    Returns ``{"serial_wall_s", "source", "fingerprints"}`` or ``None``.
+    """
+    if store is None:
+        return None
+    want = sorted(names)
+    try:
+        history = store.history("suite")
+    except Exception:
+        return None
+    for path in reversed(history):
+        try:
+            record = store.load(path)
+        except Exception:
+            continue
+        detail = record.detail or {}
+        suite = detail.get("suite") or {}
+        if bool(suite.get("smoke", False)) != bool(smoke):
+            continue
+        if suite.get("seed") != seed:
+            continue
+        rows = detail.get("tasks") or []
+        if sorted(row.get("task") for row in rows) != want:
+            continue
+        if any(not row.get("ok") for row in rows):
+            continue
+        if (suite.get("jobs") or 1) <= 1:
+            serial_wall = suite.get("wall_s")
+        else:
+            serial_wall = suite.get("serial_wall_s")
+            if not (detail.get("determinism") or {}).get("matches"):
+                continue
+        if not serial_wall:
+            continue
+        return {
+            "serial_wall_s": float(serial_wall),
+            "source": getattr(record, "run_id", path),
+            "fingerprints": {
+                row["task"]: row.get("fingerprint") for row in rows
+            },
+        }
+    return None
+
+
+def _fingerprint_mismatches(
+    results: Sequence[TaskResult], expected: Dict[str, Any]
+) -> List[str]:
+    """Task names whose fingerprint differs from the expected mapping.
+
+    Tasks without a deterministic fingerprint on either side (timing-only
+    sections, failed rows) are skipped — they carry no evidence.
+    """
+    mismatches = []
+    for result in results:
+        if not result.ok:
+            continue
+        ours = result.value.get("fingerprint")
+        theirs = expected.get(result.name)
+        if ours is not None and theirs is not None and ours != theirs:
+            mismatches.append(result.name)
+    return mismatches
+
+
 def run_suite(
     jobs: int = 1,
     smoke: bool = False,
     seed: int = 7,
     kernels: Optional[Sequence[str]] = None,
     timeout: Optional[float] = None,
-    compare_serial: bool = True,
+    baseline: bool = False,
     task_filter: Optional[str] = None,
+    results_dir: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Run the whole suite and return the ``BENCH_suite.json`` payload.
 
-    With ``jobs > 1`` and ``compare_serial`` the task list runs twice —
-    once on ``jobs`` workers, once serially — recording both wall clocks
-    and cross-checking task fingerprints between the passes.  The serial
-    pass runs second, on a cache the parallel pass already warmed, so the
-    recorded parallel speedup is a *conservative* lower bound.
+    With ``jobs > 1`` the task list runs once on a persistent worker
+    pool, scheduled longest-first when a previous run record knows the
+    task durations, with the parent's cached workloads published into a
+    shared-memory plane that workers attach zero-copy.  The serial
+    comparison is **opt-in**: ``baseline=True`` re-runs the task list
+    inline (doubling wall time) and cross-checks fingerprints; otherwise
+    the comparison is derived from the latest comparable serial record
+    in the result store, and when none exists ``parallel_speedup`` is
+    ``null`` with ``parallel_speedup_reason`` saying why.
     ``task_filter`` selects a task subset by name glob (see
     :func:`filter_tasks`).
     """
+    import functools
+
+    from repro.envs.cache import default_cache, install_shared_plane
+
     tasks = filter_tasks(
         suite_tasks(smoke=smoke, seed=seed, kernels=kernels), task_filter
     )
     names = [t["name"] for t in tasks]
-    t0 = time.perf_counter()
-    results = map_tasks(
-        run_suite_task, tasks, jobs=jobs, timeout=timeout, names=names
-    )
-    wall_s = time.perf_counter() - t0
-    rows = _rows(results)
 
-    serial_wall_s = None
-    determinism: Dict[str, Any] = {"checked": False}
-    if jobs > 1 and compare_serial:
+    store = None
+    try:
+        from repro.results import ResultStore
+
+        store = ResultStore(results_dir)
+    except Exception:  # pragma: no cover - results layer unavailable
+        store = None
+    priorities = _task_priorities(tasks, store)
+
+    plane = None
+    shm_segments = 0
+    shm_bytes = 0
+    initializer = None
+    if jobs > 1:
+        try:
+            from repro.harness.shm import SharedWorkloadPlane
+
+            plane = SharedWorkloadPlane()
+            default_cache().publish_entries(plane)
+            mapping = plane.mapping()
+            shm_segments = len(plane)
+            shm_bytes = plane.total_bytes
+            if mapping:
+                install_shared_plane(mapping)
+                initializer = functools.partial(
+                    install_shared_plane, mapping
+                )
+        except Exception:  # pragma: no cover - plane is an optimization
+            plane = None
+
+    pool_stats: Dict[str, Any] = {}
+    try:
         t0 = time.perf_counter()
-        serial_results = map_tasks(
-            run_suite_task, tasks, jobs=1, names=names
+        results = map_tasks(
+            run_suite_task,
+            tasks,
+            jobs=jobs,
+            timeout=timeout,
+            names=names,
+            priorities=priorities,
+            initializer=initializer,
+            pool_stats=pool_stats,
         )
-        serial_wall_s = time.perf_counter() - t0
-        mismatches = []
-        for parallel_r, serial_r in zip(results, serial_results):
-            if not (parallel_r.ok and serial_r.ok):
-                continue
-            if (
-                parallel_r.value["fingerprint"]
-                != serial_r.value["fingerprint"]
-            ):
-                mismatches.append(parallel_r.name)
-        determinism = {
-            "checked": True,
-            "matches": not mismatches,
-            "mismatches": mismatches,
-        }
+        wall_s = time.perf_counter() - t0
+        rows = _rows(results)
 
+        serial_wall_s = None
+        speedup_reason: Optional[str] = None
+        baseline_source: Optional[str] = None
+        determinism: Dict[str, Any] = {"checked": False}
+        if jobs > 1:
+            if baseline:
+                t0 = time.perf_counter()
+                serial_results = map_tasks(
+                    run_suite_task, tasks, jobs=1, names=names
+                )
+                serial_wall_s = time.perf_counter() - t0
+                baseline_source = "inline"
+                expected = {
+                    r.name: r.value.get("fingerprint")
+                    for r in serial_results
+                    if r.ok
+                }
+                mismatches = _fingerprint_mismatches(results, expected)
+                determinism = {
+                    "checked": True,
+                    "matches": not mismatches,
+                    "mismatches": mismatches,
+                    "source": "inline",
+                }
+            else:
+                found = _find_serial_baseline(
+                    store, names, smoke=smoke, seed=seed
+                )
+                if found is None:
+                    speedup_reason = (
+                        "no comparable serial baseline in the result "
+                        "store; run once with --baseline (or -j 1) to "
+                        "record one"
+                    )
+                else:
+                    serial_wall_s = found["serial_wall_s"]
+                    baseline_source = f"record:{found['source']}"
+                    mismatches = _fingerprint_mismatches(
+                        results, found["fingerprints"]
+                    )
+                    determinism = {
+                        "checked": True,
+                        "matches": not mismatches,
+                        "mismatches": mismatches,
+                        "source": baseline_source,
+                    }
+        else:
+            speedup_reason = "serial run (jobs <= 1): nothing to compare"
+    finally:
+        install_shared_plane(None)
+        if plane is not None:
+            plane.close()
+
+    ok_results = [r for r in results if r.ok]
+    exec_total = sum(r.exec_s for r in ok_results)
+    duration_total = sum(r.duration for r in ok_results)
+    dispatch_overhead_s = sum(
+        max(0.0, r.duration - r.exec_s) for r in ok_results
+    )
+    workers = pool_stats.get("workers") or 1
     probe = _cache_probe(smoke=smoke, seed=seed)
     return {
         "suite": {
@@ -369,8 +575,34 @@ def run_suite(
             "wall_s": wall_s,
             "serial_wall_s": serial_wall_s,
             "parallel_speedup": (
-                serial_wall_s / wall_s if serial_wall_s else None
+                serial_wall_s / wall_s
+                if serial_wall_s and wall_s > 0
+                else None
             ),
+            "parallel_speedup_reason": speedup_reason,
+            "baseline_source": baseline_source,
+            "dispatch_overhead_s": dispatch_overhead_s,
+            "dispatch_overhead_share": (
+                dispatch_overhead_s / duration_total
+                if duration_total > 0
+                else None
+            ),
+            "worker_utilization": (
+                exec_total / (workers * wall_s)
+                if workers and wall_s > 0
+                else None
+            ),
+            "executor": {
+                "workers": workers,
+                "respawns": pool_stats.get("respawns", 0),
+                "crashes": pool_stats.get("crashes", 0),
+                "timeouts": pool_stats.get("timeouts", 0),
+                "scheduling": (
+                    "longest-first" if priorities else "input-order"
+                ),
+                "shm_segments": shm_segments,
+                "shm_bytes": shm_bytes,
+            },
         },
         "cache": {
             "probe": probe,

@@ -129,6 +129,18 @@ def record_from_suite(
         measurements["suite.parallel_speedup"] = _ratio(
             suite["parallel_speedup"]
         )
+    if suite.get("dispatch_overhead_s") is not None:
+        measurements["suite.dispatch_overhead_s"] = _seconds(
+            suite["dispatch_overhead_s"]
+        )
+    if suite.get("dispatch_overhead_share") is not None:
+        measurements["suite.dispatch_overhead_share"] = _ratio(
+            suite["dispatch_overhead_share"], higher_is_better=False
+        )
+    if suite.get("worker_utilization") is not None:
+        measurements["suite.worker_utilization"] = _ratio(
+            suite["worker_utilization"]
+        )
     determinism = report.get("determinism", {})
     if determinism.get("checked"):
         measurements["determinism.match"] = _flag(
@@ -148,16 +160,32 @@ def record_from_suite(
             measurements[f"tasks.{name}.roi_s"] = _seconds(
                 row.get("roi_s", 0.0)
             )
+            if row.get("exec_s") is not None:
+                measurements[f"tasks.{name}.exec_s"] = _seconds(
+                    row["exec_s"]
+                )
+            if row.get("queue_wait_s") is not None:
+                measurements[f"tasks.{name}.queue_wait_s"] = _seconds(
+                    row["queue_wait_s"]
+                )
+    environment = _env(env)
+    tags = ["smoke"] if suite.get("smoke") else []
+    # A box with one usable CPU cannot express parallel speedup or keep
+    # N workers busy; the tag lets timing-floor gates skip with an
+    # explicit reason instead of failing on hardware limits.
+    if environment.cpu_count == 1:
+        tags.append("single-core")
     return RunRecord(
         kind="suite",
-        environment=_env(env),
+        environment=environment,
         provenance={
             "jobs": suite.get("jobs"),
             "seed": suite.get("seed"),
             "smoke": suite.get("smoke", False),
             "filter": suite.get("filter"),
+            "baseline_source": suite.get("baseline_source"),
         },
-        tags=["smoke"] if suite.get("smoke") else [],
+        tags=tags,
         measurements=measurements,
         detail=_jsonable(dict(report)),
     )

@@ -159,9 +159,20 @@ DEFAULT_GATES: List[Dict[str, Any]] = [
     {"name": "suite.determinism", "kind": "suite",
      "metric": "determinism.match", "op": "==", "threshold": 1.0,
      "on_missing": "skip"},
+    # Parallel-executor floors (PR 6): speedup, worker utilization, and
+    # dispatch overhead.  All skip on single-core hardware — one usable
+    # CPU cannot express parallelism — and in smoke mode (tiny tasks,
+    # overhead-dominated); the dispatch-overhead ceiling is structural
+    # enough to stay active wherever a pool actually ran.
     {"name": "suite.parallel-speedup-floor", "kind": "suite",
      "metric": "suite.parallel_speedup", "op": ">=", "threshold": 2.0,
-     "on_missing": "skip", "skip_tags": ["smoke"]},
+     "on_missing": "skip", "skip_tags": ["smoke", "single-core"]},
+    {"name": "suite.worker-utilization-floor", "kind": "suite",
+     "metric": "suite.worker_utilization", "op": ">=", "threshold": 0.4,
+     "on_missing": "skip", "skip_tags": ["smoke", "single-core"]},
+    {"name": "suite.dispatch-overhead-ceiling", "kind": "suite",
+     "metric": "suite.dispatch_overhead_share", "op": "<=",
+     "threshold": 0.15, "on_missing": "skip", "skip_tags": ["smoke"]},
     {"name": "suite.cache-hit-speedup-floor", "kind": "suite",
      "metric": "cache.hit_speedup", "op": ">=", "threshold": 5.0,
      "on_missing": "fail", "skip_tags": ["smoke"]},

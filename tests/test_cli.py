@@ -169,12 +169,12 @@ def test_characterize_unknown_kernel_errors(capsys):
 def test_suite_smoke_writes_report(tmp_path, capsys):
     target = tmp_path / "BENCH_suite.json"
     code = main(
-        ["suite", "--smoke", "-j", "2", "--output", str(target),
-         "--no-serial-compare"]
+        ["suite", "--smoke", "-j", "2", "--output", str(target)]
     )
     assert code == 0
     out = capsys.readouterr().out
     assert "suite:" in out
+    assert "executor:" in out
     assert "record stored at" in out
     document = json.loads(target.read_text())
     assert document["kind"] == "suite"
@@ -198,7 +198,7 @@ def test_suite_filter_selects_task_subset(tmp_path, capsys):
     target = tmp_path / "BENCH_suite.json"
     code = main(
         ["suite", "--smoke", "--filter", "characterize:15.cem",
-         "--output", str(target), "--no-serial-compare"]
+         "--output", str(target)]
     )
     assert code == 0
     report = json.loads(target.read_text())["detail"]

@@ -1,13 +1,20 @@
-"""Tests for the process-pool suite executor (crash/timeout isolation)."""
+"""Tests for the persistent-pool suite executor (crash/timeout isolation)."""
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 import time
+import warnings
 
 import pytest
 
-from repro.harness.parallel import TaskResult, derive_seed, map_tasks
+from repro.harness.parallel import (
+    TaskResult,
+    derive_seed,
+    map_tasks,
+    schedule_order,
+)
 
 
 def _square(x):
@@ -36,6 +43,10 @@ def _unpicklable(_x):
     return lambda: None
 
 
+def _pid(_x):
+    return os.getpid()
+
+
 # -- ordering and values -------------------------------------------------------
 
 
@@ -62,6 +73,89 @@ def test_empty_items():
     assert map_tasks(_square, [], jobs=4) == []
 
 
+# -- persistent pool -----------------------------------------------------------
+
+
+def test_workers_are_reused_across_tasks():
+    """The pool amortizes start-up: tasks share worker processes."""
+    results = map_tasks(_pid, list(range(12)), jobs=2)
+    pids = {r.value for r in results}
+    assert 1 <= len(pids) <= 2  # 12 tasks, at most 2 processes
+    assert all(r.worker_id is not None for r in results)
+
+
+def test_pool_stats_report_worker_count():
+    stats = {}
+    map_tasks(_square, list(range(6)), jobs=3, pool_stats=stats)
+    assert stats["workers"] == 3
+    assert stats["respawns"] == 0
+    assert stats["crashes"] == 0
+    assert stats["timeouts"] == 0
+
+
+def test_pool_leaves_no_zombies_or_extra_fds():
+    """Repeated pool lifecycles (incl. timeouts) must not leak."""
+    map_tasks(_square, list(range(4)), jobs=2)  # warm imports
+    fds_before = len(os.listdir("/proc/self/fd"))
+    for _ in range(3):
+        map_tasks(_hang_on_one, [0, 1, 2], jobs=2, timeout=0.5)
+    assert multiprocessing.active_children() == []
+    fds_after = len(os.listdir("/proc/self/fd"))
+    assert fds_after <= fds_before + 1  # no fd growth across lifecycles
+
+
+# -- scheduling ----------------------------------------------------------------
+
+
+def test_schedule_order_longest_first_and_stable():
+    assert schedule_order(4, [1.0, 3.0, 2.0, 3.0]) == [1, 3, 2, 0]
+    assert schedule_order(3, None) == [0, 1, 2]
+    assert schedule_order(3, [0.0, 0.0, 0.0]) == [0, 1, 2]
+
+
+def test_schedule_order_length_mismatch_raises():
+    with pytest.raises(ValueError, match="priorities"):
+        schedule_order(3, [1.0])
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_priorities_do_not_change_results_or_order(jobs):
+    plain = map_tasks(_square, [3, 1, 2], jobs=jobs)
+    hinted = map_tasks(
+        _square, [3, 1, 2], jobs=jobs, priorities=[0.1, 5.0, 2.0]
+    )
+    assert [r.value for r in plain] == [r.value for r in hinted]
+    assert [r.index for r in hinted] == [0, 1, 2]
+
+
+# -- executor accounting -------------------------------------------------------
+
+
+def test_exec_and_queue_wait_recorded():
+    results = map_tasks(_square, list(range(4)), jobs=2)
+    for r in results:
+        assert r.exec_s >= 0.0
+        assert r.queue_wait_s >= 0.0
+        assert r.duration >= r.exec_s  # dispatch overhead is non-negative
+
+
+def _mark_environment():
+    os.environ["RTRBENCH_POOL_MARKER"] = "set"
+
+
+def _read_marker(_x):
+    return os.environ.get("RTRBENCH_POOL_MARKER")
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_initializer_runs_before_tasks(jobs, monkeypatch):
+    monkeypatch.delenv("RTRBENCH_POOL_MARKER", raising=False)
+    results = map_tasks(
+        _read_marker, [0, 1], jobs=jobs, initializer=_mark_environment
+    )
+    assert [r.value for r in results] == ["set", "set"]
+
+
 # -- crash isolation -----------------------------------------------------------
 
 
@@ -78,6 +172,32 @@ def test_silent_worker_death_is_reported():
     assert [r.ok for r in results] == [True, False, True]
     assert results[1].exitcode == 17
     assert "died without reporting" in results[1].error
+
+
+def _sleep_or_die(x):
+    if x == 1:
+        os._exit(23)
+    time.sleep(0.3)
+    return x
+
+
+def test_crash_triggers_respawn_and_remaining_tasks_complete():
+    """A worker lost mid-task is replaced; the rest of the queue drains.
+
+    Tasks are slow enough that work is still pending when the crash is
+    reaped, so pool capacity must be restored for the queue to finish.
+    """
+    stats = {}
+    results = map_tasks(
+        _sleep_or_die, list(range(6)), jobs=2, pool_stats=stats
+    )
+    assert [r.ok for r in results] == [
+        True, False, True, True, True, True
+    ]
+    assert results[1].exitcode == 23
+    assert stats["crashes"] == 1
+    assert stats["respawns"] == 1
+    assert multiprocessing.active_children() == []
 
 
 def test_unpicklable_result_is_reported_not_hung():
@@ -99,6 +219,18 @@ def test_timeout_kills_only_the_hung_task():
     assert not results[0].timed_out and not results[2].timed_out
     # The suite survived the hang in roughly one timeout, not sleep(60).
     assert elapsed < 30.0
+
+
+def test_inline_timeout_warns_once():
+    """jobs <= 1 cannot preempt a hung task; the caller hears about it."""
+    import repro.harness.parallel as parallel_mod
+
+    parallel_mod._warned_inline_timeout = False
+    with pytest.warns(RuntimeWarning, match="cannot enforce"):
+        map_tasks(_square, [1], jobs=1, timeout=5.0)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")  # second run must stay silent
+        map_tasks(_square, [1], jobs=1, timeout=5.0)
 
 
 # -- determinism ---------------------------------------------------------------

@@ -1,0 +1,208 @@
+"""Tests for the shared-memory workload plane (publish/attach/unlink)."""
+
+from __future__ import annotations
+
+import os
+import pickle
+import signal
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.harness import shm
+
+pytestmark = pytest.mark.skipif(
+    not shm.HAVE_SHARED_MEMORY, reason="no multiprocessing.shared_memory"
+)
+
+
+def _sample_workload():
+    return {
+        "grid": np.arange(5000, dtype=np.float64).reshape(50, 100),
+        "mask": np.zeros((50, 100), dtype=bool),
+        "meta": {"resolution": 0.25, "name": "toy"},
+    }
+
+
+@pytest.fixture
+def plane():
+    p = shm.SharedWorkloadPlane()
+    yield p
+    p.close()
+
+
+# -- serialization -------------------------------------------------------------
+
+
+def test_serialize_roundtrip_preserves_arrays():
+    value = _sample_workload()
+    header, chunks = shm.serialize(value)
+    buf = bytearray(shm._LEN.size + len(header))
+    shm._LEN.pack_into(buf, 0, len(header))
+    buf[shm._LEN.size:] = header
+    for chunk in chunks:
+        buf += bytes(memoryview(chunk).cast("B"))
+    rebuilt = shm.deserialize(memoryview(buf))
+    np.testing.assert_array_equal(rebuilt["grid"], value["grid"])
+    np.testing.assert_array_equal(rebuilt["mask"], value["mask"])
+    assert rebuilt["meta"] == value["meta"]
+
+
+def test_serialize_extracts_array_buffers_out_of_band():
+    _, chunks = shm.serialize(_sample_workload())
+    assert len(chunks) >= 3  # meta pickle + one buffer per array
+
+
+def test_serialize_falls_back_for_plain_values():
+    header, chunks = shm.serialize({"just": "strings", "n": 3})
+    assert len(chunks) >= 1
+    assert pickle.loads(bytes(memoryview(chunks[0]).cast("B")))
+
+
+# -- plane lifecycle -----------------------------------------------------------
+
+
+def test_publish_attach_roundtrip_zero_copy(plane):
+    value = _sample_workload()
+    key = "k" * 24
+    assert plane.publish(key, value)
+    name = plane.mapping()[key]
+    assert name.startswith(shm.SEGMENT_PREFIX)
+    got, handle = shm.attach_value(name)
+    try:
+        np.testing.assert_array_equal(got["grid"], value["grid"])
+        # Zero-copy: the attached array is a view, not an owning copy.
+        assert not got["grid"].flags.owndata
+    finally:
+        del got
+        handle.close()
+
+
+def test_publish_is_idempotent_per_key(plane):
+    value = _sample_workload()
+    assert plane.publish("a" * 24, value)
+    assert not plane.publish("a" * 24, value)
+    assert len(plane) == 1
+
+
+def test_publish_respects_byte_budget():
+    small = shm.SharedWorkloadPlane(max_bytes=64)
+    try:
+        assert not small.publish("b" * 24, _sample_workload())
+        assert len(small) == 0
+    finally:
+        small.close()
+
+
+def test_close_unlinks_all_segments(plane):
+    plane.publish("c" * 24, _sample_workload())
+    plane.publish("d" * 24, {"x": np.ones(10)})
+    assert len(shm.list_segments()) >= 2
+    plane.close()
+    assert shm.list_segments() == []
+    plane.close()  # idempotent
+
+
+def test_attached_cache_lru_evicts_and_serves_hits(plane):
+    for i in range(4):
+        plane.publish(f"{i}".rjust(24, "0"), {"x": np.full(100, i)})
+    names = list(plane.mapping().values())
+    cache = shm.AttachedSegmentCache(max_items=2)
+    try:
+        for name in names:
+            assert cache.get(name) is not None
+        assert len(cache) == 2  # older attachments evicted
+        assert cache.attach_count == 4
+        cache.get(names[-1])  # hit: no new attach
+        assert cache.attach_count == 4
+    finally:
+        cache.close()
+
+
+def test_attached_cache_returns_none_for_missing_segment():
+    cache = shm.AttachedSegmentCache()
+    assert cache.get("rtrbench-0-does-not-exist") is None
+
+
+# -- abnormal-exit cleanup -----------------------------------------------------
+
+
+_KILL_SCRIPT = r"""
+import os, sys, time
+sys.path.insert(0, {src!r})
+import numpy as np
+from repro.harness.shm import SharedWorkloadPlane
+
+plane = SharedWorkloadPlane()
+assert plane.publish("z" * 24, {{"x": np.arange(100000, dtype=np.float64)}})
+print("published", flush=True)
+time.sleep(60)
+"""
+
+
+def test_sigkill_of_publisher_leaves_no_orphan_segments(tmp_path):
+    """Hard-killed parents cannot leak /dev/shm: the resource tracker
+    (a separate process that survives the kill) unlinks what the dead
+    process registered at create time."""
+    src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+    script = tmp_path / "publisher.py"
+    script.write_text(_KILL_SCRIPT.format(src=os.path.abspath(src)))
+    proc = subprocess.Popen(
+        [sys.executable, str(script)], stdout=subprocess.PIPE, text=True
+    )
+    try:
+        assert proc.stdout.readline().strip() == "published"
+        pattern = f"{shm.SEGMENT_PREFIX}-{proc.pid:x}-"
+        assert shm.list_segments(pattern)
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=10)
+        # The tracker cleans up asynchronously after the main process
+        # dies; poll briefly instead of racing it.
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            if not shm.list_segments(pattern):
+                break
+            time.sleep(0.1)
+        assert shm.list_segments(pattern) == []
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+        proc.wait()
+
+
+# -- workload-cache integration ------------------------------------------------
+
+
+def test_cache_serves_from_plane_and_counts_shm_hits(plane, tmp_path):
+    from repro.envs.cache import WorkloadCache, install_shared_plane
+
+    producer = WorkloadCache(cache_dir=str(tmp_path / "cache"))
+    value = producer.get_or_build(
+        "toy", {"n": 1}, lambda: _sample_workload()
+    )
+    assert producer.publish_entries(plane) >= 1
+    install_shared_plane(plane.mapping())
+    try:
+        # A fresh cache (cold memory layer, no disk dir) must be served
+        # from the plane, not by rebuilding.
+        consumer = WorkloadCache(cache_dir=str(tmp_path / "other"))
+        got = consumer.get_or_build(
+            "toy", {"n": 1},
+            lambda: pytest.fail("should have been served from the plane"),
+        )
+        np.testing.assert_array_equal(got["grid"], value["grid"])
+        assert consumer.stats.shm_hits == 1
+        # Served values are private copies: mutating one must not
+        # corrupt the shared original.
+        got["grid"][0, 0] = -1.0
+        again = consumer.get_or_build(
+            "toy", {"n": 1},
+            lambda: pytest.fail("should be served from the plane"),
+        )
+        assert again["grid"][0, 0] == 0.0
+        assert consumer.stats.shm_hits == 2
+    finally:
+        install_shared_plane(None)

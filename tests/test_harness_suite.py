@@ -77,8 +77,8 @@ def test_suite_tasks_seeds_are_content_derived():
 
 @pytest.fixture(scope="module")
 def smoke_report():
-    """One parallel smoke run with the serial comparison pass."""
-    return run_suite(jobs=4, smoke=True, kernels=FAST_KERNELS)
+    """One parallel smoke run with the opt-in inline serial baseline."""
+    return run_suite(jobs=4, smoke=True, kernels=FAST_KERNELS, baseline=True)
 
 
 def test_report_schema(smoke_report):
@@ -91,11 +91,20 @@ def test_report_schema(smoke_report):
     assert suite["parallel_speedup"] == pytest.approx(
         suite["serial_wall_s"] / suite["wall_s"]
     )
+    assert suite["baseline_source"] == "inline"
+    assert suite["dispatch_overhead_s"] >= 0.0
+    assert 0.0 <= suite["dispatch_overhead_share"] < 1.0
+    assert 0.0 < suite["worker_utilization"] <= 1.0
+    executor = suite["executor"]
+    assert executor["workers"] >= 2
+    assert executor["scheduling"] in ("longest-first", "input-order")
     for row in smoke_report["tasks"]:
         assert row["ok"], row
         assert row["wall_s"] > 0.0
         assert row["roi_s"] >= 0.0
         assert row["setup_s"] >= 0.0
+        assert row["exec_s"] > 0.0
+        assert row["queue_wait_s"] >= 0.0
         assert "cache" in row
 
 
@@ -150,7 +159,6 @@ def test_failing_kernel_becomes_failure_row_not_dead_suite():
         jobs=2,
         smoke=True,
         kernels=["15.cem", "no-such-kernel"],
-        compare_serial=False,
     )
     by_task = {row["task"]: row for row in report["tasks"]}
     bad = by_task["characterize:no-such-kernel"]
@@ -164,7 +172,8 @@ def test_failing_kernel_becomes_failure_row_not_dead_suite():
 
 
 def _synthetic_report(
-    parallel_speedup, hit_speedup, matches=True, failures=0
+    parallel_speedup, hit_speedup, matches=True, failures=0,
+    worker_utilization=0.8, dispatch_overhead_share=0.02,
 ):
     return {
         "suite": {
@@ -176,6 +185,9 @@ def _synthetic_report(
             "wall_s": 1.0,
             "serial_wall_s": parallel_speedup,
             "parallel_speedup": parallel_speedup,
+            "worker_utilization": worker_utilization,
+            "dispatch_overhead_s": dispatch_overhead_share,
+            "dispatch_overhead_share": dispatch_overhead_share,
         },
         "cache": {"probe": {"hit_speedup": hit_speedup,
                             "cold_build_s": 1.0, "warm_hit_s": 0.1}},
@@ -197,20 +209,39 @@ def test_suite_gates_pass_good_report():
 
 def test_suite_gates_flag_regressions():
     record = record_from_suite(
-        _synthetic_report(1.0, 1.0, matches=False, failures=1)
+        _synthetic_report(
+            1.0, 1.0, matches=False, failures=1,
+            worker_utilization=0.1, dispatch_overhead_share=0.5,
+        )
     )
     by_name = _gate_by_name(record)
     assert by_name["suite.no-failed-tasks"].failed
     assert by_name["suite.determinism"].failed
     assert by_name["suite.parallel-speedup-floor"].failed
     assert by_name["suite.cache-hit-speedup-floor"].failed
+    assert by_name["suite.worker-utilization-floor"].failed
+    assert by_name["suite.dispatch-overhead-ceiling"].failed
+
+
+def test_single_core_tag_sidelines_parallel_timing_gates():
+    """One usable CPU cannot express parallelism; the floors step aside."""
+    from repro.results.record import EnvironmentFingerprint
+
+    env = EnvironmentFingerprint(python="3.11", cpu_count=1)
+    record = record_from_suite(_synthetic_report(0.8, 6.0), env=env)
+    assert record.has_tag("single-core")
+    by_name = _gate_by_name(record)
+    assert by_name["suite.parallel-speedup-floor"].status == "skip"
+    assert by_name["suite.worker-utilization-floor"].status == "skip"
+    # Structural gates keep judging: they are machine-independent.
+    assert by_name["suite.no-failed-tasks"].passed
+    assert by_name["suite.determinism"].passed
 
 
 def test_serial_only_report_skips_speedup_gate():
-    report = run_suite(
-        jobs=1, smoke=True, kernels=FAST_KERNELS, compare_serial=True
-    )
+    report = run_suite(jobs=1, smoke=True, kernels=FAST_KERNELS)
     assert report["suite"]["serial_wall_s"] is None
+    assert "nothing to compare" in report["suite"]["parallel_speedup_reason"]
     assert not report["determinism"]["checked"]
     record = record_from_suite(report)
     # No parallel pass -> no speedup/determinism measurements -> the
@@ -220,6 +251,69 @@ def test_serial_only_report_skips_speedup_gate():
     by_name = _gate_by_name(record)
     assert by_name["suite.parallel-speedup-floor"].status == "skip"
     assert by_name["suite.determinism"].status == "skip"
+
+
+def test_speedup_derived_from_stored_serial_baseline(tmp_path):
+    """Without --baseline the comparison comes from the result store."""
+    from repro.results import ResultStore
+
+    results_dir = str(tmp_path / "results")
+    store = ResultStore(results_dir)
+    kernels = ["13.dmp", "15.cem"]
+
+    # No stored baseline yet: speedup is null, with a reason.
+    first = run_suite(
+        jobs=2, smoke=True, kernels=kernels, results_dir=results_dir
+    )
+    assert first["suite"]["parallel_speedup"] is None
+    assert "no comparable serial baseline" in (
+        first["suite"]["parallel_speedup_reason"]
+    )
+    assert not first["determinism"]["checked"]
+
+    # Store a serial run; the next parallel run derives its baseline
+    # from it and cross-checks fingerprints against its rows.
+    serial = run_suite(
+        jobs=1, smoke=True, kernels=kernels, results_dir=results_dir
+    )
+    store.save(record_from_suite(serial))
+    derived = run_suite(
+        jobs=2, smoke=True, kernels=kernels, results_dir=results_dir
+    )
+    suite = derived["suite"]
+    assert suite["serial_wall_s"] == pytest.approx(
+        serial["suite"]["wall_s"]
+    )
+    assert suite["parallel_speedup"] == pytest.approx(
+        suite["serial_wall_s"] / suite["wall_s"]
+    )
+    assert suite["baseline_source"].startswith("record:")
+    assert derived["determinism"]["checked"]
+    assert derived["determinism"]["matches"], (
+        derived["determinism"]["mismatches"]
+    )
+    # The stored record also supplies per-task durations, so dispatch
+    # goes longest-first instead of input order.
+    assert suite["executor"]["scheduling"] == "longest-first"
+
+
+def test_stored_baseline_requires_matching_run_shape(tmp_path):
+    """A stored record with a different task list is not comparable."""
+    from repro.results import ResultStore
+
+    results_dir = str(tmp_path / "results")
+    store = ResultStore(results_dir)
+    serial = run_suite(
+        jobs=1, smoke=True, kernels=["13.dmp"], results_dir=results_dir
+    )
+    store.save(record_from_suite(serial))
+    other = run_suite(
+        jobs=2, smoke=True, kernels=["15.cem"], results_dir=results_dir
+    )
+    assert other["suite"]["parallel_speedup"] is None
+    assert "no comparable serial baseline" in (
+        other["suite"]["parallel_speedup_reason"]
+    )
 
 
 def test_suite_registered_as_experiment():
