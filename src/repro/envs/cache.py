@@ -49,7 +49,10 @@ from typing import Any, Callable, Dict, Mapping, Optional
 
 #: Bump when a generator's output changes for identical parameters, so
 #: stale on-disk artifacts from older code can never be served.
-SCHEMA_VERSION = 1
+#: v2: trajectory generation runs backward Dijkstra on the bucketed
+#: batch engine by default, which may break distance ties differently
+#: from the scalar heap sweep.
+SCHEMA_VERSION = 2
 
 DEFAULT_CACHE_DIR = ".rtrbench_cache"
 
@@ -99,6 +102,7 @@ class CacheStats:
             "misses": self.misses,
             "build_time_s": self.build_time_s,
             "hit_time_s": self.hit_time_s,
+            "per_category": dict(self.per_category),
         }
 
 

@@ -3,8 +3,9 @@
 Section VII compares the suite's optimized pp2d against PythonRobotics
 and CppRobotics on the small educational map, scaled by factors 1..64.
 Here both contestants run in the same interpreter: the optimized planner
-(:func:`repro.planning.fast_astar.fast_grid_astar` — one-shot grid
-inflation, flat preallocated arrays, binary heap) against
+(:func:`repro.planning.fast_astar.fast_grid_astar` — memoized one-shot
+grid inflation plus the flat-array search core of
+:mod:`repro.search.grid_core`) against
 :class:`repro.planning.baselines.EducationalAStar` (the P-Rob/C-Rob
 pathologies reproduced faithfully).  Absolute times differ
 from the paper's C++-vs-Python numbers, but the comparison's structure —

@@ -25,13 +25,15 @@ live here as ``check_floors`` are now gate declarations in
 
 from __future__ import annotations
 
+import fnmatch
 import gc
 import time
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
-from repro.envs.mapgen import wean_hall_like
+from repro.envs.costmap import synthetic_costmap
+from repro.envs.mapgen import campus_like_3d, wean_hall_like
 from repro.geometry.collision import (
     footprint_points,
     oriented_footprint_collides,
@@ -43,6 +45,8 @@ from repro.geometry.raycast import (
     cast_rays_batch,
     cast_rays_dda_batch,
 )
+from repro.planning.pp3d import far_apart_free_voxels, plan_3d
+from repro.search.dijkstra import backward_dijkstra_grid
 from repro.results import (
     RunRecord,
     capture_environment,
@@ -238,6 +242,93 @@ def bench_nn(smoke: bool = False, seed: int = 7) -> Dict[str, float]:
     }
 
 
+def bench_search_dijkstra(
+    smoke: bool = False, seed: int = 7
+) -> Dict[str, float]:
+    """Time a full-grid backward-Dijkstra sweep, heapq vs bucketed core.
+
+    This is movtar's heuristic-table recompute (the whole-map cost-to-go
+    sweep it reruns whenever the table invalidates), sized up to a large
+    costmap where the sweep — not the WA* search — dominates.  The
+    ``vectorized`` contestant is the Dial-style bucketed batch engine of
+    :mod:`repro.search.grid_core`; both backends must produce the same
+    cost-to-go table before the timings are trusted.
+    """
+    size, repeats = (96, 2) if smoke else (384, 5)
+    field = synthetic_costmap(rows=size, cols=size, n_bumps=8, seed=seed)
+    free = np.argwhere(~field.obstacles)
+    goals = [tuple(int(v) for v in free[0]), tuple(int(v) for v in free[-1])]
+
+    ref_out = backward_dijkstra_grid(
+        field.cost, goals, field.obstacles, backend="reference"
+    )
+    vec_out = backward_dijkstra_grid(
+        field.cost, goals, field.obstacles, backend="bucketed"
+    )
+    if not np.array_equal(np.isfinite(ref_out), np.isfinite(vec_out)):
+        raise AssertionError("dijkstra backends disagree on reachability")
+    finite = np.isfinite(ref_out)
+    if not np.allclose(ref_out[finite], vec_out[finite], atol=1e-9):
+        raise AssertionError("dijkstra backends disagree on cost-to-go")
+    ref_s, vec_s, ref_cpu, vec_cpu = _interleaved_min(
+        lambda: backward_dijkstra_grid(
+            field.cost, goals, field.obstacles, backend="reference"
+        ),
+        lambda: backward_dijkstra_grid(
+            field.cost, goals, field.obstacles, backend="bucketed"
+        ),
+        repeats,
+    )
+    return {
+        "reference_s": ref_s,
+        "vectorized_s": vec_s,
+        "reference_cpu_s": ref_cpu,
+        "vectorized_cpu_s": vec_cpu,
+        "speedup": ref_s / vec_s,
+        "ops": int(finite.sum()),
+    }
+
+
+def bench_search_pp3d(smoke: bool = False, seed: int = 7) -> Dict[str, float]:
+    """Time end-to-end pp3d planning, heapq/dict reference vs array core.
+
+    The suite's standard pp3d inputset (96x96x24 campus volume,
+    corner-to-corner query): the whole kernel ROI including collision
+    handling, so this is the user-visible planning latency, not just the
+    open-list microcost.  Both backends must return identical costs,
+    paths, and expansion counts before the timings are trusted.
+    """
+    if smoke:
+        nx, ny, nz, repeats = 48, 48, 12, 2
+    else:
+        nx, ny, nz, repeats = 96, 96, 24, 3
+    grid = campus_like_3d(nx=nx, ny=ny, nz=nz, resolution=1.0, seed=seed)
+    start, goal = far_apart_free_voxels(grid)
+
+    ref_out = plan_3d(grid, start, goal, backend="reference")
+    arr_out = plan_3d(grid, start, goal, backend="array")
+    if (
+        ref_out.found != arr_out.found
+        or ref_out.cost != arr_out.cost
+        or ref_out.path != arr_out.path
+        or ref_out.expansions != arr_out.expansions
+    ):
+        raise AssertionError("pp3d backends return different plans")
+    ref_s, vec_s, ref_cpu, vec_cpu = _interleaved_min(
+        lambda: plan_3d(grid, start, goal, backend="reference"),
+        lambda: plan_3d(grid, start, goal, backend="array"),
+        repeats,
+    )
+    return {
+        "reference_s": ref_s,
+        "vectorized_s": vec_s,
+        "reference_cpu_s": ref_cpu,
+        "vectorized_cpu_s": vec_cpu,
+        "speedup": ref_s / vec_s,
+        "ops": ref_out.expansions,
+    }
+
+
 # -- driver --------------------------------------------------------------------
 
 #: phase name -> benchmark callable, in report order.
@@ -245,7 +336,32 @@ BENCH_PHASES: Dict[str, Callable[..., Dict[str, float]]] = {
     "raycast": bench_raycast,
     "collision": bench_collision,
     "nn": bench_nn,
+    "search_dijkstra": bench_search_dijkstra,
+    "search_pp3d": bench_search_pp3d,
 }
+
+
+def select_phases(
+    patterns: Optional[List[str]],
+) -> Dict[str, Callable[..., Dict[str, float]]]:
+    """Subset of :data:`BENCH_PHASES` matching the given glob patterns.
+
+    ``None``/empty selects everything; an unmatched pattern set raises
+    so a typo cannot silently bench nothing.
+    """
+    if not patterns:
+        return dict(BENCH_PHASES)
+    selected = {
+        name: fn
+        for name, fn in BENCH_PHASES.items()
+        if any(fnmatch.fnmatch(name, pattern) for pattern in patterns)
+    }
+    if not selected:
+        raise ValueError(
+            f"no bench phases match {patterns!r}; "
+            f"available: {', '.join(BENCH_PHASES)}"
+        )
+    return selected
 
 
 def _bench_task(task: tuple) -> Dict[str, float]:
@@ -255,30 +371,36 @@ def _bench_task(task: tuple) -> Dict[str, float]:
 
 
 def run_bench(
-    smoke: bool = False, seed: int = 7, jobs: int = 1
+    smoke: bool = False,
+    seed: int = 7,
+    jobs: int = 1,
+    phases: Optional[List[str]] = None,
 ) -> Dict[str, Dict[str, float]]:
-    """Run all hot-path benchmarks; returns ``phase -> metrics``.
+    """Run the hot-path benchmarks; returns ``phase -> metrics``.
 
-    ``jobs > 1`` dispatches the phases over worker processes via
+    ``phases`` optionally restricts the run to the phase names matching
+    the given glob patterns (e.g. ``["search_*"]``).  ``jobs > 1``
+    dispatches the phases over worker processes via
     :func:`repro.harness.parallel.map_tasks`.  Per-phase timings from a
     parallel run share the machine with sibling phases and are noisier
     than a serial run's; the suite report records them as such, while
     floor gates (``rtrbench gate``) are intended for serial runs.
     A phase that fails raises, as in serial mode.
     """
+    selected = select_phases(phases)
     if jobs <= 1:
         return {
             phase: fn(smoke=smoke, seed=seed)
-            for phase, fn in BENCH_PHASES.items()
+            for phase, fn in selected.items()
         }
     from repro.harness.parallel import map_tasks
 
-    phases = list(BENCH_PHASES)
+    phase_names = list(selected)
     results = map_tasks(
         _bench_task,
-        [(phase, smoke, seed) for phase in phases],
+        [(phase, smoke, seed) for phase in phase_names],
         jobs=jobs,
-        names=[f"bench:{phase}" for phase in phases],
+        names=[f"bench:{phase}" for phase in phase_names],
     )
     failed = [r for r in results if not r.ok]
     if failed:
@@ -286,11 +408,14 @@ def run_bench(
             "bench phase failures:\n"
             + "\n".join(f"{r.name}: {r.error}" for r in failed)
         )
-    return {phase: r.value for phase, r in zip(phases, results)}
+    return {phase: r.value for phase, r in zip(phase_names, results)}
 
 
 def run_bench_record(
-    smoke: bool = False, seed: int = 7, jobs: int = 1
+    smoke: bool = False,
+    seed: int = 7,
+    jobs: int = 1,
+    phases: Optional[List[str]] = None,
 ) -> RunRecord:
     """Run the bench under a pinned thread environment; return a record.
 
@@ -304,7 +429,7 @@ def run_bench_record(
     the pin is active and inherit it.
     """
     with pinned_thread_env() as thread_env:
-        results = run_bench(smoke=smoke, seed=seed, jobs=jobs)
+        results = run_bench(smoke=smoke, seed=seed, jobs=jobs, phases=phases)
         env = capture_environment(thread_env=thread_env)
     return record_from_bench(
         results, smoke=smoke, seed=seed, jobs=jobs, env=env

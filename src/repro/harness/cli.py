@@ -227,11 +227,30 @@ def _cmd_bench(argv: List[str]) -> int:
         "-j", "--jobs", type=int, default=1,
         help="worker processes for the bench phases (default: 1, serial)",
     )
+    parser.add_argument(
+        "--phases", nargs="+", metavar="GLOB", default=None,
+        help=(
+            "run only the bench phases matching these glob patterns "
+            "(e.g. 'search_*'); partial records skip gate enforcement"
+        ),
+    )
     _add_store_options(parser)
     args = parser.parse_args(argv)
-    record = run_bench_record(smoke=args.smoke, seed=args.seed, jobs=args.jobs)
+    try:
+        record = run_bench_record(
+            smoke=args.smoke, seed=args.seed, jobs=args.jobs,
+            phases=args.phases,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(render_report(record.detail))
     _persist_record(record, args)
+    if args.phases:
+        # A filtered record lacks the other phases' metrics; gates with
+        # on_missing='fail' would misread that as a regression.
+        print("phase filter active: skipping gate enforcement")
+        return 0
     if args.smoke or args.no_check:
         return 0
     return _enforce_gates(record, args)
@@ -481,6 +500,9 @@ def _cmd_cache(argv: List[str]) -> int:
         f"{cache.stats.hits} hits ({process['memory_hits']} memory, "
         f"{process['disk_hits']} disk), {process['misses']} misses"
     )
+    per_category = process.get("per_category") or {}
+    for category in sorted(per_category):
+        print(f"  {category}: {per_category[category]} lookups")
     return 0
 
 

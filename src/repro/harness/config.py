@@ -90,8 +90,9 @@ class KernelConfig:
     output: Optional[str] = option(None, "Output file for kernel results")
     backend: str = option(
         "reference",
-        "Hot-path execution backend: 'reference' (scalar/loop code) or "
-        "'vectorized' (batched numpy)",
+        "Hot-path execution backend: 'reference' (scalar/loop code), "
+        "'vectorized' (batched numpy), or — for the planning kernels — "
+        "'array' (flat-array search core with bucketed/lazy-heap queues)",
     )
     repeats: int = option(
         1,

@@ -220,7 +220,11 @@ def run_suite_task(task: Dict[str, Any]) -> Dict[str, Any]:
         raise ValueError(f"unknown suite task section {section!r}")
     after = stats.as_dict()
     payload["cache"] = {
-        key: after[key] - before[key] for key in after
+        # Scalar counters only: ``per_category`` nests a dict and is a
+        # process-wide observability breakdown, not a per-task delta.
+        key: after[key] - before.get(key, 0)
+        for key in after
+        if not isinstance(after[key], dict)
     }
     return payload
 

@@ -5,26 +5,21 @@ Python equivalent of RTRBench's tuned C++ pp2d.  Every implementation
 choice targets speed the way the paper's C++ does:
 
 * the robot footprint is handled by inflating the grid **once** (numpy
-  dilation) instead of per-expansion footprint checks;
-* the map is a flat numpy array indexed by integers — no per-node objects,
-  no copies (the exact opposite of the educational baseline's
-  pass-by-value maps);
-* the open list is a binary heap of ``(f, index)`` tuples with lazy
-  stale-entry skipping; g-values and parents live in preallocated arrays.
+  dilation, memoized through the workload cache) instead of
+  per-expansion footprint checks;
+* the search itself is :mod:`repro.search.grid_core`'s flat-array A*:
+  a halo-padded flat occupancy table, preallocated g/parent/closed
+  storage, and a lazy binary heap — no per-node objects, no dict maps
+  (the exact opposite of the educational baseline's pass-by-value maps).
 """
 
 from __future__ import annotations
 
-import heapq
-import math
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
-
-import numpy as np
+from typing import List, Tuple
 
 from repro.geometry.grid2d import OccupancyGrid2D
-
-_SQRT2 = math.sqrt(2.0)
+from repro.search.grid_core import astar_grid_2d
 
 
 @dataclass
@@ -50,69 +45,13 @@ def fast_grid_astar(
     """
     work = grid.inflate(robot_radius) if robot_radius > 0.0 else grid
     cells = work.cells
-    rows, cols = cells.shape
-    blocked = cells.ravel()
-
-    def flat(cell: Tuple[int, int]) -> int:
-        return cell[0] * cols + cell[1]
-
-    start_i = flat(start)
-    goal_i = flat(goal)
-    if blocked[start_i]:
+    if cells[start]:
         raise ValueError(f"start cell {start} is occupied (after inflation)")
-    if blocked[goal_i]:
+    if cells[goal]:
         raise ValueError(f"goal cell {goal} is occupied (after inflation)")
-
-    res = grid.resolution
-    # (flat offset, column delta, step cost); the explicit column delta
-    # guards against wrapping across row boundaries.
-    offsets = (
-        (-cols, 0, res), (cols, 0, res), (-1, -1, res), (1, 1, res),
-        (-cols - 1, -1, res * _SQRT2), (-cols + 1, 1, res * _SQRT2),
-        (cols - 1, -1, res * _SQRT2), (cols + 1, 1, res * _SQRT2),
+    flat, path = astar_grid_2d(
+        cells, start, goal, resolution=grid.resolution, epsilon=1.0
     )
-    goal_r, goal_c = goal
-    n = rows * cols
-    g = np.full(n, np.inf)
-    parent = np.full(n, -1, dtype=np.int64)
-    closed = np.zeros(n, dtype=bool)
-    g[start_i] = 0.0
-    h0 = math.hypot(start[0] - goal_r, start[1] - goal_c) * res
-    heap: List[Tuple[float, int]] = [(h0, start_i)]
-    expansions = 0
-
-    while heap:
-        f, idx = heapq.heappop(heap)
-        if closed[idx]:
-            continue
-        if idx == goal_i:
-            path = []
-            while idx != -1:
-                path.append((idx // cols, idx % cols))
-                idx = int(parent[idx])
-            path.reverse()
-            return FastPlanResult(
-                found=True, path=path, cost=float(g[goal_i]),
-                expansions=expansions,
-            )
-        closed[idx] = True
-        expansions += 1
-        row = idx // cols
-        col = idx % cols
-        g_here = g[idx]
-        for off, dc, step in offsets:
-            nidx = idx + off
-            ncol = col + dc
-            if ncol < 0 or ncol >= cols or nidx < 0 or nidx >= n:
-                continue
-            if blocked[nidx] or closed[nidx]:
-                continue
-            tentative = g_here + step
-            if tentative < g[nidx]:
-                g[nidx] = tentative
-                parent[nidx] = idx
-                nrow = nidx // cols
-                h = math.hypot(nrow - goal_r, ncol - goal_c) * res
-                heapq.heappush(heap, (tentative + h, nidx))
-    return FastPlanResult(found=False, path=[], cost=float("inf"),
-                          expansions=expansions)
+    return FastPlanResult(
+        found=flat.found, path=path, cost=flat.cost, expansions=flat.expansions
+    )

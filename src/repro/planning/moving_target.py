@@ -89,6 +89,7 @@ class MovingTargetPlanner:
         trajectory: np.ndarray,
         epsilon: float = 2.0,
         profiler: Optional[PhaseProfiler] = None,
+        backend: str = "reference",
     ) -> None:
         if epsilon < 1.0:
             raise ValueError("epsilon must be >= 1.0")
@@ -96,6 +97,10 @@ class MovingTargetPlanner:
         self.trajectory = np.asarray(trajectory, dtype=int)
         self.epsilon = float(epsilon)
         self.profiler = profiler if profiler is not None else PhaseProfiler()
+        # 'reference' keeps the scalar heapq sweep for the precompute;
+        # any other backend ('vectorized', 'array') runs the bucketed
+        # batch engine, falling back automatically if unquantizable.
+        self.dijkstra_backend = "reference" if backend == "reference" else "auto"
         self._h_table: Optional[np.ndarray] = None
 
     def precompute_heuristic(self) -> np.ndarray:
@@ -110,7 +115,8 @@ class MovingTargetPlanner:
                 for r, c in {(int(r), int(c)) for r, c in self.trajectory}
             ]
             self._h_table = backward_dijkstra_grid(
-                self.field.cost, goals, self.field.obstacles
+                self.field.cost, goals, self.field.obstacles,
+                backend=self.dijkstra_backend,
             )
             self.profiler.count(
                 "dijkstra_cells", int(np.isfinite(self._h_table).sum())
@@ -192,6 +198,7 @@ class MovingTargetKernel(Kernel):
             state.trajectory,
             epsilon=config.epsilon,
             profiler=profiler,
+            backend=config.backend,
         )
         planner.precompute_heuristic()
         return planner.plan(state.start)

@@ -26,10 +26,9 @@ from repro.harness.config import KernelConfig, option
 from repro.harness.profiler import PhaseProfiler
 from repro.harness.runner import Kernel, registry
 from repro.search.astar import SearchResult, weighted_astar
+from repro.search.grid_core import MOVES_2D_8, astar_grid_2d, pad_blocked_2d
 
-_MOVES: Tuple[Tuple[int, int], ...] = (
-    (-1, 0), (1, 0), (0, -1), (0, 1), (-1, -1), (-1, 1), (1, -1), (1, 1),
-)
+_MOVES: Tuple[Tuple[int, int], ...] = MOVES_2D_8
 
 
 class GridPlanningSpace2D:
@@ -145,7 +144,23 @@ def plan_2d(
     max_expansions: Optional[int] = None,
     backend: str = "reference",
 ) -> SearchResult:
-    """Plan a collision-free 2D route; thin wrapper over Weighted A*."""
+    """Plan a collision-free 2D route; thin wrapper over Weighted A*.
+
+    ``backend="array"`` precomputes one full-grid footprint-collision
+    mask per heading (a move's heading is fixed by its direction, so
+    there are exactly 8) and runs the flat-array search core over them
+    — identical successor sets, costs, paths, and search counters; the
+    per-move scalar footprint test becomes a flat-array read.
+    """
+    if backend not in ("reference", "vectorized", "array"):
+        raise ValueError(
+            "backend must be 'reference', 'vectorized', or 'array'"
+        )
+    if backend == "array":
+        return _plan_2d_array(
+            grid, start, goal, robot_length, robot_width, epsilon=epsilon,
+            profiler=profiler, max_expansions=max_expansions,
+        )
     space = GridPlanningSpace2D(
         grid, goal, robot_length, robot_width, profiler=profiler,
         backend=backend,
@@ -153,6 +168,72 @@ def plan_2d(
     return weighted_astar(
         space, start, epsilon=epsilon, profiler=space.profiler,
         max_expansions=max_expansions,
+    )
+
+
+def heading_blocked_masks(
+    grid: OccupancyGrid2D,
+    body_points: np.ndarray,
+    profiler: Optional[PhaseProfiler] = None,
+) -> List[np.ndarray]:
+    """Per-heading destination-invalid masks for the canonical 8 moves.
+
+    ``masks[i][r, c]`` is True when the robot footprint, oriented along
+    move ``_MOVES[i]`` and placed at the center of cell (r, c), hits an
+    obstacle — the same verdict ``GridPlanningSpace2D.state_collides``
+    computes per candidate move, evaluated for every cell of the grid
+    in one batched call per heading.  ``collision_cell_checks`` counts
+    the full precompute (rows x cols x 8 poses), so it is *not*
+    comparable with the reference backend's on-demand count; the search
+    counters (expansions, pushes, pops) are.
+    """
+    prof = profiler if profiler is not None else PhaseProfiler()
+    res = grid.resolution
+    ox, oy = grid.origin
+    rr, cc = np.meshgrid(
+        np.arange(grid.rows), np.arange(grid.cols), indexing="ij"
+    )
+    xs = ox + (cc.ravel() + 0.5) * res
+    ys = oy + (rr.ravel() + 0.5) * res
+    masks = []
+    with prof.phase("collision"):
+        for dr, dc in _MOVES:
+            theta = math.atan2(dr, dc)
+            collides = oriented_footprints_collide_batch(
+                grid, xs, ys, np.full(xs.shape, theta), body_points,
+                count=prof.count,
+            )
+            masks.append(collides.reshape(grid.rows, grid.cols))
+    return masks
+
+
+def _plan_2d_array(
+    grid: OccupancyGrid2D,
+    start: Tuple[int, int],
+    goal: Tuple[int, int],
+    robot_length: float = 4.8,
+    robot_width: float = 1.8,
+    epsilon: float = 1.0,
+    profiler: Optional[PhaseProfiler] = None,
+    max_expansions: Optional[int] = None,
+) -> SearchResult:
+    """pp2d on the flat-array core with precomputed heading masks."""
+    prof = profiler if profiler is not None else PhaseProfiler()
+    body_points = footprint_points(robot_length, robot_width, grid.resolution)
+    masks = heading_blocked_masks(grid, body_points, profiler=prof)
+    blocked_by_move = [pad_blocked_2d(mask) for mask in masks]
+    with prof.phase("search"):
+        flat, path = astar_grid_2d(
+            grid.cells, start, goal, resolution=grid.resolution,
+            epsilon=epsilon, max_expansions=max_expansions,
+            blocked_by_move=blocked_by_move,
+        )
+    prof.count("astar_expansions", flat.expansions)
+    prof.count("search_pushes", flat.pushes)
+    prof.count("search_pops", flat.pops)
+    return SearchResult(
+        found=flat.found, path=path, cost=flat.cost,
+        expansions=flat.expansions, generated=flat.generated,
     )
 
 

@@ -20,14 +20,9 @@ from repro.harness.config import KernelConfig, option
 from repro.harness.profiler import PhaseProfiler
 from repro.harness.runner import Kernel, registry
 from repro.search.astar import SearchResult, weighted_astar
+from repro.search.grid_core import MOVES_3D_26, astar_grid_3d
 
-_MOVES_3D: Tuple[Tuple[int, int, int], ...] = tuple(
-    (dz, dy, dx)
-    for dz in (-1, 0, 1)
-    for dy in (-1, 0, 1)
-    for dx in (-1, 0, 1)
-    if (dz, dy, dx) != (0, 0, 0)
-)
+_MOVES_3D: Tuple[Tuple[int, int, int], ...] = MOVES_3D_26
 _MOVES_3D_ARR = np.array(_MOVES_3D)
 _MOVE_LENGTHS_3D = np.sqrt((_MOVES_3D_ARR**2).sum(axis=1))
 
@@ -102,11 +97,58 @@ def plan_3d(
     max_expansions: Optional[int] = None,
     backend: str = "reference",
 ) -> SearchResult:
-    """Plan a 3D route; thin wrapper over Weighted A*."""
+    """Plan a 3D route; thin wrapper over Weighted A*.
+
+    ``backend="array"`` runs the flat-array search core
+    (:func:`repro.search.grid_core.astar_grid_3d`) instead of the
+    heapq/dict reference — same algorithm, costs, paths, and operation
+    counters; preallocated flat storage instead of per-node objects.
+    """
+    if backend not in ("reference", "vectorized", "array"):
+        raise ValueError(
+            "backend must be 'reference', 'vectorized', or 'array'"
+        )
+    if backend == "array":
+        return _plan_3d_array(
+            grid, start, goal, epsilon=epsilon, profiler=profiler,
+            max_expansions=max_expansions,
+        )
     space = GridPlanningSpace3D(grid, goal, profiler=profiler, backend=backend)
     return weighted_astar(
         space, start, epsilon=epsilon, profiler=space.profiler,
         max_expansions=max_expansions,
+    )
+
+
+def _plan_3d_array(
+    grid: OccupancyGrid3D,
+    start: Tuple[int, int, int],
+    goal: Tuple[int, int, int],
+    epsilon: float = 1.0,
+    profiler: Optional[PhaseProfiler] = None,
+    max_expansions: Optional[int] = None,
+) -> SearchResult:
+    """pp3d on the flat-array core: collision checks fused into search.
+
+    Reports the same operation counters as the reference backend
+    (``astar_expansions``, ``search_pushes``, ``search_pops``, and
+    ``collision_cell_checks`` at 26 per expansion); there is no separate
+    ``collision`` phase because occupancy lookups are single flat-array
+    reads inside the search loop.
+    """
+    prof = profiler if profiler is not None else PhaseProfiler()
+    with prof.phase("search"):
+        flat, path = astar_grid_3d(
+            grid.cells, start, goal, resolution=grid.resolution,
+            epsilon=epsilon, max_expansions=max_expansions,
+        )
+    prof.count("astar_expansions", flat.expansions)
+    prof.count("search_pushes", flat.pushes)
+    prof.count("search_pops", flat.pops)
+    prof.count("collision_cell_checks", len(_MOVES_3D) * flat.expansions)
+    return SearchResult(
+        found=flat.found, path=path, cost=flat.cost,
+        expansions=flat.expansions, generated=flat.generated,
     )
 
 

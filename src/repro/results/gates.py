@@ -152,6 +152,15 @@ DEFAULT_GATES: List[Dict[str, Any]] = [
     {"name": "bench.nn-speedup-floor", "kind": "bench",
      "metric": "nn.speedup", "op": ">=", "threshold": 2.0,
      "on_missing": "fail", "skip_tags": ["smoke"]},
+    # Flat-array search core floors (PR 7).  ``on_missing: skip`` (not
+    # fail): pre-PR-7 bench records have no search_* metrics and the
+    # shipped policy must keep reproducing their legacy verdicts.
+    {"name": "bench.search-dijkstra-speedup-floor", "kind": "bench",
+     "metric": "search_dijkstra.speedup", "op": ">=", "threshold": 5.0,
+     "on_missing": "skip", "skip_tags": ["smoke"]},
+    {"name": "bench.search-pp3d-speedup-floor", "kind": "bench",
+     "metric": "search_pp3d.speedup", "op": ">=", "threshold": 2.0,
+     "on_missing": "skip", "skip_tags": ["smoke"]},
     # suite: structural invariants (active in smoke) + timing floors.
     {"name": "suite.no-failed-tasks", "kind": "suite",
      "metric": "suite.failures", "op": "==", "threshold": 0.0,

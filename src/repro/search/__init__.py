@@ -9,6 +9,16 @@ search environments too large to enumerate.
 
 from repro.search.astar import SearchResult, astar, weighted_astar
 from repro.search.dijkstra import backward_dijkstra_grid, dijkstra
+from repro.search.grid_core import (
+    BucketQuantizationError,
+    BucketQueue,
+    FlatSearchResult,
+    GridSweepStats,
+    astar_flat,
+    astar_grid_2d,
+    astar_grid_3d,
+    dijkstra_grid_bucketed,
+)
 from repro.search.queues import PriorityQueue
 from repro.search.space import SearchSpace
 
@@ -18,6 +28,14 @@ __all__ = [
     "weighted_astar",
     "backward_dijkstra_grid",
     "dijkstra",
+    "BucketQuantizationError",
+    "BucketQueue",
+    "FlatSearchResult",
+    "GridSweepStats",
+    "astar_flat",
+    "astar_grid_2d",
+    "astar_grid_3d",
+    "dijkstra_grid_bucketed",
     "PriorityQueue",
     "SearchSpace",
 ]

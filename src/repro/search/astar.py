@@ -79,6 +79,8 @@ def weighted_astar(
                 continue
             if space.is_goal(state):
                 prof.count("astar_expansions", expansions)
+                prof.count("search_pushes", open_list.pushes)
+                prof.count("search_pops", open_list.pops)
                 return SearchResult(
                     found=True,
                     path=_reconstruct(parents, state),
@@ -102,6 +104,8 @@ def weighted_astar(
                     open_list.push(succ, tentative + epsilon * h)
                     generated += 1
     prof.count("astar_expansions", expansions)
+    prof.count("search_pushes", open_list.pushes)
+    prof.count("search_pops", open_list.pops)
     return SearchResult(found=False, expansions=expansions, generated=generated)
 
 

@@ -99,6 +99,7 @@ def backward_dijkstra_grid(
     traversal_cost: np.ndarray,
     goals: Iterable[Tuple[int, int]],
     obstacle_mask: Optional[np.ndarray] = None,
+    backend: str = "auto",
 ) -> np.ndarray:
     """Cost-to-go table from every cell to the nearest goal cell.
 
@@ -109,7 +110,30 @@ def backward_dijkstra_grid(
     Because edges are reversed relative to the forward search, running
     Dijkstra *from* the goals yields exactly the forward cost-to-go — the
     backward-Dijkstra heuristic of the paper.
+
+    ``backend`` selects the engine: ``"bucketed"`` runs the Dial-style
+    batched sweep from :mod:`repro.search.grid_core`, ``"reference"``
+    the original scalar heapq loop, and ``"auto"`` (default) uses the
+    bucketed engine whenever the cost field is quantizable (positive
+    finite minimum cost) and falls back to the heap otherwise.
     """
+    if backend not in ("auto", "bucketed", "reference"):
+        raise ValueError(
+            "backend must be 'auto', 'bucketed', or 'reference', "
+            f"got {backend!r}"
+        )
+    goals = list(goals)  # the heap fallback may need a second pass
+    if backend != "reference":
+        from repro.search.grid_core import (
+            BucketQuantizationError,
+            dijkstra_grid_bucketed,
+        )
+
+        try:
+            return dijkstra_grid_bucketed(traversal_cost, goals, obstacle_mask)
+        except BucketQuantizationError:
+            if backend == "bucketed":
+                raise
     cost = np.asarray(traversal_cost, dtype=float)
     rows, cols = cost.shape
     blocked = (

@@ -4,6 +4,13 @@ The open list of every best-first search in the suite.  Decrease-key is
 implemented lazily (stale entries are skipped on pop), the standard
 technique for heapq-based A* — re-pushing is cheaper than rebuilding and
 keeps pop amortized O(log n).
+
+Lazy invalidation is invisible at the public surface: ``__contains__``,
+``priority_of``, ``__len__``, ``peek`` and ``pop`` all answer for the
+*live* entry per item (the most recent ``push``) and never expose a
+superseded one, even though its tombstone physically stays in the heap
+until it drifts to the root.  ``tests/test_search_queues.py`` pins these
+semantics.
 """
 
 from __future__ import annotations
@@ -33,10 +40,16 @@ class PriorityQueue:
         return self._size > 0
 
     def __contains__(self, item: Hashable) -> bool:
+        """True iff ``item`` has a live entry (stale tombstones don't count)."""
         return item in self._entries
 
     def push(self, item: Hashable, priority: float) -> None:
-        """Insert ``item``, or update its priority if already queued."""
+        """Insert ``item``, or update its priority if already queued.
+
+        Updating tombstones the old heap entry rather than re-sifting it;
+        both decrease- and increase-key take this path, so the queue
+        always orders by the latest pushed priority.
+        """
         if item in self._entries:
             self._entries[item][2] = self._REMOVED
             self._size -= 1
@@ -68,6 +81,10 @@ class PriorityQueue:
         raise IndexError("peek at an empty priority queue")
 
     def priority_of(self, item: Hashable) -> Optional[float]:
-        """Current queued priority of ``item``, or ``None`` if absent."""
+        """Current queued priority of ``item``, or ``None`` if absent.
+
+        "Current" means the most recent ``push`` — a superseded entry
+        still sitting in the heap never leaks through here.
+        """
         entry = self._entries.get(item)
         return None if entry is None else entry[0]

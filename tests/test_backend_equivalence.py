@@ -233,6 +233,78 @@ def test_pp3d_backends_identical_plan():
     assert prof_ref.counters == prof_vec.counters
 
 
+def test_pp2d_array_backend_identical_plan():
+    """The flat-array core must replicate the reference plan bitwise.
+
+    The search counters (expansions/pushes/pops) must match exactly;
+    collision_cell_checks is architecturally different (the array
+    backend precomputes full-grid footprint masks per heading) and is
+    intentionally excluded from the comparison.
+    """
+    from repro.envs.mapgen import city_like
+    from repro.harness.profiler import PhaseProfiler
+    from repro.planning.pp2d import far_apart_free_cells
+
+    grid = city_like(rows=96, cols=96, seed=0)
+    rng = np.random.default_rng(0)
+    clearance = footprint_points(4.8, 4.8, grid.resolution)
+    start, goal = far_apart_free_cells(grid, rng, clearance)
+    prof_ref, prof_arr = PhaseProfiler(), PhaseProfiler()
+    ref = plan_2d(grid, start, goal, profiler=prof_ref)
+    arr = plan_2d(grid, start, goal, profiler=prof_arr, backend="array")
+    assert arr.found == ref.found
+    assert arr.path == ref.path
+    assert arr.cost == ref.cost  # identical float arithmetic: bitwise
+    for counter in ("astar_expansions", "search_pushes", "search_pops"):
+        assert prof_arr.counters[counter] == prof_ref.counters[counter]
+
+
+def test_pp3d_array_backend_identical_plan_and_counters():
+    from repro.harness.profiler import PhaseProfiler
+
+    grid = campus_like_3d(nx=40, ny=40, nz=10, seed=0)
+    start, goal = far_apart_free_voxels(grid)
+    prof_ref, prof_arr = PhaseProfiler(), PhaseProfiler()
+    ref = plan_3d(grid, start, goal, profiler=prof_ref)
+    arr = plan_3d(grid, start, goal, profiler=prof_arr, backend="array")
+    assert arr.found == ref.found
+    assert arr.path == ref.path
+    assert arr.cost == ref.cost
+    # pp3d's collision test is per-voxel in both backends, so here *all*
+    # counters are comparable, collision_cell_checks included.
+    assert prof_arr.counters == prof_ref.counters
+
+
+def test_movtar_array_backend_identical_plan():
+    from repro.envs.costmap import synthetic_costmap, target_trajectory
+    from repro.harness.profiler import PhaseProfiler
+    from repro.planning.moving_target import MovingTargetPlanner
+
+    field = synthetic_costmap(rows=64, cols=64, n_bumps=6, seed=3)
+    traj = target_trajectory(field, length=40, seed=3)
+    prof_ref, prof_arr = PhaseProfiler(), PhaseProfiler()
+    ref_planner = MovingTargetPlanner(
+        field, traj, profiler=prof_ref, backend="reference"
+    )
+    arr_planner = MovingTargetPlanner(
+        field, traj, profiler=prof_arr, backend="array"
+    )
+    h_ref = ref_planner.precompute_heuristic()
+    h_arr = arr_planner.precompute_heuristic()
+    assert np.array_equal(np.isfinite(h_ref), np.isfinite(h_arr))
+    finite = np.isfinite(h_ref)
+    np.testing.assert_allclose(
+        h_arr[finite], h_ref[finite], rtol=0.0, atol=1e-9
+    )
+    start = (2, 2) if not field.obstacles[2, 2] else tuple(
+        int(v) for v in np.argwhere(~field.obstacles)[0]
+    )
+    ref = ref_planner.plan(start)
+    arr = arr_planner.plan(start)
+    assert arr.found == ref.found
+    assert arr.cost == pytest.approx(ref.cost, abs=1e-9)
+
+
 # -- nearest neighbors / ICP ---------------------------------------------------
 
 

@@ -254,6 +254,21 @@ def test_cache_stats_json_is_machine_readable(isolated_cache, capsys):
     assert payload["entries"] == 1
     assert payload["process"]["misses"] == 1
     assert payload["process"]["memory_hits"] == 1
+    assert payload["process"]["per_category"] == {"toy": 2}
+
+
+def test_cache_stats_lists_per_category_lookups(isolated_cache, capsys):
+    from repro.geometry.grid2d import OccupancyGrid2D
+
+    grid = OccupancyGrid2D.empty(12, 12)
+    grid.fill_rect(4, 4, 6, 6)
+    grid.inflate(1.0)  # miss
+    grid.inflate(1.0)  # memoized hit
+    isolated_cache.get_or_build("toy", {"n": 1}, lambda: "x")
+    assert main(["cache", "stats"]) == 0
+    out = capsys.readouterr().out
+    assert "inflate2d: 2 lookups" in out
+    assert "toy: 1 lookups" in out
 
 
 def test_cache_clear_memory_only_keeps_disk(isolated_cache, capsys):

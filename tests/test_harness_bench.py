@@ -9,7 +9,7 @@ import pytest
 from repro.harness.bench import render_report, run_bench, run_bench_record
 from repro.results import evaluate_gates, record_from_bench
 
-PHASES = ("raycast", "collision", "nn")
+PHASES = ("raycast", "collision", "nn", "search_dijkstra", "search_pp3d")
 FIELDS = (
     "reference_s",
     "vectorized_s",
@@ -20,7 +20,12 @@ FIELDS = (
 )
 
 #: Per-phase speedup floors as shipped in the default gate policy.
+#: These gates fail when their metric is absent (``on_missing: fail``).
 FLOORS = {"raycast": 5.0, "collision": 3.0, "nn": 2.0}
+
+#: Search-core floors (PR 7): ``on_missing: skip`` so the shipped policy
+#: still reproduces legacy verdicts on records that predate the metrics.
+SEARCH_FLOORS = {"search_dijkstra": 5.0, "search_pp3d": 2.0}
 
 
 @pytest.fixture(scope="module")
@@ -111,8 +116,9 @@ def _synthetic_results(speedups):
 
 
 def test_speedup_gates_pass_above_floors():
+    floors = {**FLOORS, **SEARCH_FLOORS}
     results = _synthetic_results(
-        {phase: floor * 2.0 for phase, floor in FLOORS.items()}
+        {phase: floor * 2.0 for phase, floor in floors.items()}
     )
     record = record_from_bench(results, smoke=False)
     outcomes = evaluate_gates(record)
@@ -120,18 +126,26 @@ def test_speedup_gates_pass_above_floors():
 
 
 def test_speedup_gates_flag_regression():
-    results = _synthetic_results({phase: 1.0 for phase in FLOORS})
+    floors = {**FLOORS, **SEARCH_FLOORS}
+    results = _synthetic_results({phase: 1.0 for phase in floors})
     record = record_from_bench(results, smoke=False)
     failures = [r for r in evaluate_gates(record) if r.failed]
-    assert len(failures) == len(FLOORS)
+    assert len(failures) == len(floors)
     assert all("violates" in r.reason for r in failures)
 
 
 def test_speedup_gates_flag_missing_phase():
     record = record_from_bench({}, smoke=False)
-    failures = [r for r in evaluate_gates(record) if r.failed]
+    outcomes = evaluate_gates(record)
+    failures = [r for r in outcomes if r.failed]
     assert len(failures) == len(FLOORS)
     assert all("absent" in r.reason for r in failures)
+    # The search floors step aside instead: records that predate the
+    # search metrics must keep their legacy verdicts.
+    search_names = {f"bench.{p.replace('_', '-')}-speedup-floor"
+                    for p in SEARCH_FLOORS}
+    skipped = {r.gate for r in outcomes if r.status == "skip"}
+    assert search_names <= skipped
 
 
 def test_smoke_record_skips_speedup_gates():
@@ -152,3 +166,50 @@ def test_cli_smoke(tmp_path, capsys):
     assert "raycast.speedup" in document["measurements"]
     assert set(document["detail"]) == set(PHASES)
     assert "speedup" in capsys.readouterr().out
+
+
+# -- phase filtering -----------------------------------------------------------
+
+
+def test_select_phases_glob_and_exact():
+    from repro.harness.bench import BENCH_PHASES, select_phases
+
+    assert list(select_phases(None)) == list(BENCH_PHASES)
+    assert list(select_phases(["search_*"])) == [
+        "search_dijkstra", "search_pp3d",
+    ]
+    assert list(select_phases(["nn"])) == ["nn"]
+    # Order follows BENCH_PHASES, duplicates collapse.
+    assert list(select_phases(["search_pp3d", "*"])) == list(BENCH_PHASES)
+
+
+def test_select_phases_unknown_pattern_raises():
+    from repro.harness.bench import select_phases
+
+    with pytest.raises(ValueError, match="no bench phases match"):
+        select_phases(["gpu_*"])
+
+
+def test_run_bench_phase_filter_runs_subset():
+    results = run_bench(smoke=True, phases=["nn"])
+    assert set(results) == {"nn"}
+    assert results["nn"]["ops"] > 0
+
+
+def test_cli_phases_filter(tmp_path, capsys):
+    from repro.harness.cli import main
+
+    out = tmp_path / "bench_nn.json"
+    assert main(
+        ["bench", "--smoke", "--phases", "nn", "--output", str(out)]
+    ) == 0
+    document = json.loads(out.read_text())
+    assert set(document["detail"]) == {"nn"}
+    assert "skipping gate enforcement" in capsys.readouterr().out
+
+
+def test_cli_phases_unknown_pattern_exits_2(capsys):
+    from repro.harness.cli import main
+
+    assert main(["bench", "--smoke", "--phases", "warpdrive"]) == 2
+    assert "no bench phases match" in capsys.readouterr().err

@@ -85,6 +85,64 @@ def test_push_pop_counters():
     assert q.pops == 1
 
 
+class TestLazyInvalidationSemantics:
+    """Pin how stale (tombstoned) heap entries interact with the public
+    surface: they must be invisible to every query, in both key
+    directions, before and after the live entry is popped."""
+
+    def test_priority_of_reflects_latest_push_not_stale_entry(self):
+        q = PriorityQueue()
+        q.push("a", 10.0)
+        q.push("a", 1.0)  # decrease-key: the 10.0 entry is now stale
+        assert q.priority_of("a") == 1.0
+        q.push("a", 7.0)  # increase-key: the 1.0 entry is now stale too
+        assert q.priority_of("a") == 7.0
+        assert "a" in q
+        assert len(q) == 1
+
+    def test_popped_item_gone_despite_stale_heap_entries(self):
+        q = PriorityQueue()
+        q.push("a", 1.0)
+        q.push("a", 10.0)  # stale 1.0 entry still at the heap root
+        assert q.pop() == ("a", 10.0)
+        assert "a" not in q
+        assert q.priority_of("a") is None
+        assert len(q) == 0
+        assert not q
+        with pytest.raises(IndexError):
+            q.pop()  # the tombstone alone must not satisfy a pop
+
+    def test_peek_skips_stale_root_without_observable_effects(self):
+        q = PriorityQueue()
+        q.push("a", 1.0)
+        q.push("a", 10.0)  # stale 1.0 entry sits at the root
+        pops_before = q.pops
+        assert q.peek() == ("a", 10.0)
+        assert len(q) == 1
+        assert q.pops == pops_before  # draining tombstones isn't a pop
+        assert q.pop() == ("a", 10.0)
+
+    def test_repush_after_pop_starts_fresh(self):
+        q = PriorityQueue()
+        q.push("a", 2.0)
+        q.push("a", 1.0)
+        q.pop()
+        q.push("a", 3.0)  # re-entry after pop: a brand-new live entry
+        assert "a" in q
+        assert q.priority_of("a") == 3.0
+        assert q.pop() == ("a", 3.0)
+
+    def test_update_storm_keeps_len_and_pop_consistent(self):
+        q = PriorityQueue()
+        for i in range(20):
+            q.push("a", float(20 - i))
+        q.push("b", 50.0)
+        assert len(q) == 2
+        assert q.pop() == ("a", 1.0)
+        assert q.pop() == ("b", 50.0)
+        assert len(q) == 0
+
+
 @given(st.lists(st.tuples(st.integers(0, 50), st.floats(-100, 100,
                                                         allow_nan=False)),
                 min_size=1, max_size=100))
