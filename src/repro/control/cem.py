@@ -104,7 +104,10 @@ class CemKernel(Kernel):
     def setup(self, config: CemConfig) -> BallThrower:
         return BallThrower(goal_x=config.goal_x)
 
-    def run_roi(
+    # Steppable protocol: one step is one CEM generation (sample,
+    # evaluate, sort, refit) — the unit ``optimize`` loops over.
+
+    def begin_roi(
         self, config: CemConfig, state: BallThrower, profiler: PhaseProfiler
     ) -> dict:
         cem = CrossEntropyMethod(
@@ -115,9 +118,20 @@ class CemKernel(Kernel):
             rng=np.random.default_rng(config.seed),
             profiler=profiler,
         )
-        policy, best = cem.optimize(config.iterations)
+        return {"cem": cem, "best": -float("inf")}
+
+    def num_steps(self, config: CemConfig, state: BallThrower) -> int:
+        return config.iterations
+
+    def step(self, index, session, profiler) -> None:
+        _, reward = session.payload["cem"].iterate()
+        session.payload["best"] = max(session.payload["best"], reward)
+
+    def finalize(self, session) -> dict:
+        cem = session.payload["cem"]
+        best = session.payload["best"]
         return {
-            "policy": policy,
+            "policy": cem.mean.copy(),
             "best_reward": best,
             "reward_history": cem.reward_history,
             "sample_rewards": cem.sample_rewards,

@@ -22,6 +22,28 @@ from repro.harness.profiler import PhaseProfiler
 from repro.harness.runner import Kernel, registry
 
 
+@dataclass
+class RolloutSession:
+    """Mutable state of one DMP integration.
+
+    ``ys``/``vs``/``accs`` are preallocated for the full episode and
+    filled row ``t`` at a time; ``y``/``v``/``s`` are the live
+    transformation-system and canonical-phase variables.
+    """
+
+    dt: float
+    goal: np.ndarray
+    tau: float
+    steps: int
+    ys: np.ndarray
+    vs: np.ndarray
+    accs: np.ndarray
+    y: np.ndarray
+    v: np.ndarray
+    s: float
+    t: int = 0
+
+
 class DynamicMovementPrimitive:
     """A multi-dimensional discrete DMP (Schaal-style formulation).
 
@@ -114,6 +136,74 @@ class DynamicMovementPrimitive:
 
     # -- rollout --------------------------------------------------------------
 
+    def rollout_begin(
+        self,
+        dt: float,
+        y0: Optional[np.ndarray] = None,
+        goal: Optional[np.ndarray] = None,
+        tau: Optional[float] = None,
+    ) -> "RolloutSession":
+        """Start an integration; returns the mutable rollout session."""
+        if self.weights is None:
+            raise RuntimeError("rollout() before fit()")
+        y0 = self.y0.copy() if y0 is None else np.asarray(y0, dtype=float)
+        goal = self.goal.copy() if goal is None else np.asarray(goal, dtype=float)
+        tau = self.tau if tau is None else float(tau)
+        steps = int(round(tau / dt)) + 1
+        dims = len(y0)
+        return RolloutSession(
+            dt=dt,
+            goal=goal,
+            tau=tau,
+            steps=steps,
+            ys=np.empty((steps, dims)),
+            vs=np.empty((steps, dims)),
+            accs=np.empty((steps, dims)),
+            y=y0.copy(),
+            v=np.zeros(dims),
+            s=1.0,
+        )
+
+    def rollout_step(self, session: "RolloutSession") -> None:
+        """One Euler step of the transformation + canonical systems."""
+        prof = self.profiler
+        dt, tau, goal = session.dt, session.tau, session.goal
+        with prof.phase("integrate"):
+            with prof.phase("basis_eval"):
+                psi = self._basis(np.array([session.s]))[0]
+                denom = float(psi.sum()) + 1e-10
+                f = (self.weights @ psi) * session.s / denom
+                prof.count("basis_evaluations", self.n_basis)
+            acc = (
+                self.k_gain * (goal - session.y)
+                - self.d_gain * session.v
+                + f
+            ) / (tau * tau)
+            t = session.t
+            session.ys[t] = session.y
+            session.vs[t] = session.v / tau
+            session.accs[t] = acc
+            session.v = session.v + acc * dt * tau
+            session.y = session.y + session.v * dt / tau
+            session.s = session.s + (-self.alpha_s * session.s) * dt / tau
+            session.t += 1
+
+    def rollout_result(
+        self, session: "RolloutSession"
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The (positions, velocities, accelerations) integrated so far.
+
+        A complete session returns the full preallocated arrays; a
+        partially driven one returns only the rows its steps filled.
+        """
+        if session.t >= session.steps:
+            return session.ys, session.vs, session.accs
+        return (
+            session.ys[: session.t],
+            session.vs[: session.t],
+            session.accs[: session.t],
+        )
+
     def rollout(
         self,
         dt: float,
@@ -123,40 +213,16 @@ class DynamicMovementPrimitive:
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Integrate the DMP; returns (positions, velocities, accelerations).
 
-        The sequential loop is the measured ``integrate`` phase; basis
-        evaluation per step is ``basis_eval``.
+        Each sequential step is a measured ``integrate`` phase with a
+        nested per-step ``basis_eval``.  Implemented on the incremental
+        ``rollout_begin`` / ``rollout_step`` / ``rollout_result`` API, so
+        the batch call and a per-timestep driver (the steppable kernel
+        protocol) execute identical arithmetic.
         """
-        if self.weights is None:
-            raise RuntimeError("rollout() before fit()")
-        prof = self.profiler
-        y0 = self.y0.copy() if y0 is None else np.asarray(y0, dtype=float)
-        goal = self.goal.copy() if goal is None else np.asarray(goal, dtype=float)
-        tau = self.tau if tau is None else float(tau)
-        steps = int(round(tau / dt)) + 1
-        dims = len(y0)
-        ys = np.empty((steps, dims))
-        vs = np.empty((steps, dims))
-        accs = np.empty((steps, dims))
-        y = y0.copy()
-        v = np.zeros(dims)
-        s = 1.0
-        with prof.phase("integrate"):
-            for t in range(steps):
-                with prof.phase("basis_eval"):
-                    psi = self._basis(np.array([s]))[0]
-                    denom = float(psi.sum()) + 1e-10
-                    f = (self.weights @ psi) * s / denom
-                    prof.count("basis_evaluations", self.n_basis)
-                acc = (
-                    self.k_gain * (goal - y) - self.d_gain * v + f
-                ) / (tau * tau)
-                ys[t] = y
-                vs[t] = v / tau
-                accs[t] = acc
-                v = v + acc * dt * tau
-                y = y + v * dt / tau
-                s = s + (-self.alpha_s * s) * dt / tau
-        return ys, vs, accs
+        session = self.rollout_begin(dt, y0=y0, goal=goal, tau=tau)
+        while session.t < session.steps:
+            self.rollout_step(session)
+        return self.rollout_result(session)
 
 
 def demonstration_trajectory(
@@ -200,14 +266,35 @@ class DmpKernel(Kernel):
     def setup(self, config: DmpConfig) -> np.ndarray:
         return demonstration_trajectory(steps=config.demo_steps, dt=0.01)
 
-    def run_roi(
+    #: Demonstration sampling interval (seconds); fixed by the workload.
+    DEMO_DT = 0.01
+
+    # Steppable protocol: one step is one Euler integration timestep of
+    # the rollout — the serial-dependency unit the paper characterizes.
+    # Fitting the demonstration happens in ``begin_roi`` (it is part of
+    # the measured ROI, as before, but runs once per episode).
+
+    def begin_roi(
         self, config: DmpConfig, state: np.ndarray, profiler: PhaseProfiler
     ) -> dict:
         dmp = DynamicMovementPrimitive(
             n_basis=config.basis, k_gain=config.k_gain, profiler=profiler
         )
-        dmp.fit(state, dt=0.01)
-        ys, vs, accs = dmp.rollout(dt=config.dt)
+        dmp.fit(state, dt=self.DEMO_DT)
+        return {"dmp": dmp, "rollout": dmp.rollout_begin(dt=config.dt)}
+
+    def num_steps(self, config: DmpConfig, state: np.ndarray) -> int:
+        # Mirrors ``rollout_begin``: fit() sets tau from the demo length.
+        tau = (len(state) - 1) * self.DEMO_DT
+        return int(round(tau / config.dt)) + 1
+
+    def step(self, index, session, profiler) -> None:
+        session.payload["dmp"].rollout_step(session.payload["rollout"])
+
+    def finalize(self, session) -> dict:
+        state = session.state
+        dmp = session.payload["dmp"]
+        ys, vs, accs = dmp.rollout_result(session.payload["rollout"])
         # Tracking error against the (resampled) demonstration.
         demo_resampled = np.column_stack(
             [

@@ -27,6 +27,18 @@ N_STATE = 4  # x, y, theta, v
 N_CONTROL = 2  # accel, steer
 
 
+@dataclass
+class TrackingSession:
+    """Mutable state of one receding-horizon tracking episode."""
+
+    state: BicycleState
+    reference: np.ndarray
+    n_steps: int
+    driven: List[np.ndarray]
+    applied: List[np.ndarray]
+    errors: List[float]
+
+
 class ModelPredictiveController:
     """Iterative-LQR MPC for the bicycle model."""
 
@@ -119,6 +131,53 @@ class ModelPredictiveController:
         err[2] = wrap_angle(err[2])
         return err
 
+    def track_begin(
+        self,
+        initial: BicycleState,
+        reference: np.ndarray,
+        steps: Optional[int] = None,
+    ) -> "TrackingSession":
+        """Start receding-horizon tracking; returns the mutable session."""
+        n = len(reference) - 1 if steps is None else min(steps, len(reference) - 1)
+        return TrackingSession(
+            state=initial,
+            reference=reference,
+            n_steps=n,
+            driven=[initial.as_array()],
+            applied=[],
+            errors=[],
+        )
+
+    def track_step(self, session: "TrackingSession", t: int) -> None:
+        """One control tick: plan over the window, apply the first move."""
+        prof = self.profiler
+        with prof.phase("setup"):
+            window = self._window(session.reference, t)
+        plan = self.solve(session.state, window)
+        u = plan[0]
+        with prof.phase("dynamics"):
+            session.state = self.model.step(
+                session.state, u[0], u[1], self.dt
+            )
+        session.driven.append(session.state.as_array())
+        session.applied.append(u.copy())
+        session.errors.append(
+            float(np.hypot(session.state.x - session.reference[t + 1, 0],
+                           session.state.y - session.reference[t + 1, 1]))
+        )
+
+    def track_result(self, session: "TrackingSession") -> dict:
+        """Package the driven trajectory a tracking session produced."""
+        return {
+            "states": np.vstack(session.driven),
+            "controls": (
+                np.vstack(session.applied)
+                if session.applied
+                else np.empty((0, 2))
+            ),
+            "errors": np.array(session.errors),
+        }
+
     def track(
         self,
         initial: BicycleState,
@@ -128,32 +187,15 @@ class ModelPredictiveController:
         """Receding-horizon tracking of a full reference trajectory.
 
         Returns the driven states, applied controls, and per-step
-        cross-track error.
+        cross-track error.  Implemented on the incremental
+        ``track_begin`` / ``track_step`` / ``track_result`` API, so the
+        batch call and a per-tick driver (the steppable kernel protocol)
+        execute identical arithmetic.
         """
-        prof = self.profiler
-        n = len(reference) - 1 if steps is None else min(steps, len(reference) - 1)
-        state = initial
-        driven = [initial.as_array()]
-        applied: List[np.ndarray] = []
-        errors: List[float] = []
-        for t in range(n):
-            with prof.phase("setup"):
-                window = self._window(reference, t)
-            plan = self.solve(state, window)
-            u = plan[0]
-            with prof.phase("dynamics"):
-                state = self.model.step(state, u[0], u[1], self.dt)
-            driven.append(state.as_array())
-            applied.append(u.copy())
-            errors.append(
-                float(np.hypot(state.x - reference[t + 1, 0],
-                               state.y - reference[t + 1, 1]))
-            )
-        return {
-            "states": np.vstack(driven),
-            "controls": np.vstack(applied) if applied else np.empty((0, 2)),
-            "errors": np.array(errors),
-        }
+        session = self.track_begin(initial, reference, steps)
+        for t in range(session.n_steps):
+            self.track_step(session, t)
+        return self.track_result(session)
 
     def _window(self, reference: np.ndarray, t: int) -> np.ndarray:
         end = t + self.horizon + 1
@@ -214,7 +256,10 @@ class MpcKernel(Kernel):
             n_steps=config.steps, dt=config.dt, speed=config.speed
         )
 
-    def run_roi(
+    # Steppable protocol: one step is one control tick — plan over the
+    # receding window, apply the first control, advance the plant.
+
+    def begin_roi(
         self, config: MpcConfig, state: np.ndarray, profiler: PhaseProfiler
     ) -> dict:
         model = BicycleModel(max_speed=config.speed * 1.5)
@@ -226,7 +271,22 @@ class MpcKernel(Kernel):
             profiler=profiler,
         )
         initial = BicycleState(x=0.0, y=0.0, theta=0.0, v=config.speed)
-        outcome = controller.track(initial, state)
+        return {
+            "controller": controller,
+            "tracking": controller.track_begin(initial, state),
+        }
+
+    def num_steps(self, config: MpcConfig, state: np.ndarray) -> int:
+        return len(state) - 1
+
+    def step(self, index, session, profiler) -> None:
+        session.payload["controller"].track_step(
+            session.payload["tracking"], index
+        )
+
+    def finalize(self, session) -> dict:
+        controller = session.payload["controller"]
+        outcome = controller.track_result(session.payload["tracking"])
         outcome["mean_error"] = float(outcome["errors"].mean())
         outcome["max_error"] = float(outcome["errors"].max())
         return outcome

@@ -4,7 +4,7 @@ Usage mirrors the paper's per-kernel binaries (Fig. 20): every kernel gets
 its own sub-command whose ``--help`` lists all configuration options with
 defaults.
 
-    rtrbench list
+    rtrbench list [--json]
     rtrbench run pp2d --rows 256 --seed 7
     rtrbench run rrt --help
     rtrbench run pp2d --inputset dense-city
@@ -14,6 +14,7 @@ defaults.
     rtrbench bench [--smoke] [-j N]
     rtrbench suite [-j N] [--smoke] [--filter GLOB]
     rtrbench rt pfl --period-ms 100 --deadline-ms 100 --jobs 200
+    rtrbench rt pfl --granularity step
     rtrbench rt cem --antagonists 4 --antagonist-kind membw
     rtrbench cache [stats|clear] [--json]
     rtrbench report [bench@latest]
@@ -81,11 +82,41 @@ def _enforce_gates(record, args) -> int:
     return 1 if failures else 0
 
 
-def _cmd_list() -> int:
+def _cmd_list(argv: List[str]) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="rtrbench list",
+        description=(
+            "List every registered kernel with its pipeline stage, "
+            "execution model (steppable kernels support 'rtrbench rt "
+            "--granularity step'), and description."
+        ),
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="machine-readable listing for tooling and the suite builder",
+    )
+    args = parser.parse_args(argv)
     load_all_kernels()
+    if args.json:
+        import json
+
+        payload = [
+            {
+                "name": name,
+                "stage": registry.get(name).stage,
+                "steppable": registry.get(name).is_steppable(),
+                "description": registry.get(name).description,
+            }
+            for name in registry.names()
+        ]
+        print(json.dumps(payload, indent=2))
+        return 0
     for name in registry.names():
         cls = registry.get(name)
-        print(f"{name:<14} {cls.stage:<11} {cls.description}")
+        model = "steppable" if cls.is_steppable() else "batch"
+        print(f"{name:<14} {cls.stage:<11} {model:<10} {cls.description}")
     return 0
 
 
@@ -347,7 +378,7 @@ def _cmd_rt(argv: List[str]) -> int:
     from repro.harness.reporting import render_rt_report
     from repro.results import capture_environment, record_from_rt
     from repro.rt.interference import ANTAGONIST_KINDS
-    from repro.rt.run import run_rt
+    from repro.rt.run import GRANULARITIES, run_rt
     from repro.rt.scheduler import OVERRUN_POLICIES
 
     parser = argparse.ArgumentParser(
@@ -361,6 +392,14 @@ def _cmd_rt(argv: List[str]) -> int:
         ),
     )
     parser.add_argument("kernel", help="kernel name (e.g. pp2d or 04.pp2d)")
+    parser.add_argument(
+        "--granularity", choices=GRANULARITIES, default="run",
+        help=(
+            "job unit: 'run' releases full kernel runs, 'step' releases "
+            "single iterations on a persistent session (steppable "
+            "kernels only; see 'rtrbench list') (default: run)"
+        ),
+    )
     parser.add_argument(
         "--period-ms", type=float, default=None,
         help=(
@@ -424,19 +463,24 @@ def _cmd_rt(argv: List[str]) -> int:
         config = config_from_args(
             cls.config_cls, kernel_args, prog=f"rtrbench rt {args.kernel}"
         )
-    report = run_rt(
-        cls.name,
-        period_ms=args.period_ms,
-        deadline_ms=args.deadline_ms,
-        jobs=args.jobs,
-        warmup=args.warmup,
-        overrun=args.overrun,
-        antagonists=args.antagonists,
-        antagonist_kind=args.antagonist_kind,
-        smoke=args.smoke,
-        max_miss_rate=args.max_miss_rate,
-        config=config,
-    )
+    try:
+        report = run_rt(
+            cls.name,
+            period_ms=args.period_ms,
+            deadline_ms=args.deadline_ms,
+            jobs=args.jobs,
+            warmup=args.warmup,
+            overrun=args.overrun,
+            antagonists=args.antagonists,
+            antagonist_kind=args.antagonist_kind,
+            smoke=args.smoke,
+            max_miss_rate=args.max_miss_rate,
+            config=config,
+            granularity=args.granularity,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     record = record_from_rt(report, env=capture_environment())
     print(render_rt_report(report))
     _persist_record(record, args)
@@ -693,7 +737,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     command, rest = argv[0], argv[1:]
     if command == "list":
-        return _cmd_list()
+        return _cmd_list(rest)
     if command == "run":
         return _cmd_run(rest)
     if command == "inputsets":

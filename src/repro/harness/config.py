@@ -23,15 +23,27 @@ class RTTaskDefaults:
     """Default periodic-task parameters for one kernel (milliseconds).
 
     ``deadline_ms`` defaults to the period (implicit-deadline tasks, the
-    common model for robot control loops).
+    common model for robot control loops).  ``step_period_ms`` is the
+    per-iteration release period for steppable kernels run with
+    ``granularity="step"`` (one job = one ``step()`` on a persistent
+    session); ``None`` means auto-calibrate from unpaced steps.
+    ``suite_jobs`` / ``suite_jobs_smoke`` are the measured job counts
+    ``rtrbench suite`` schedules for this kernel's rt tasks.
     """
 
     period_ms: float
     deadline_ms: Optional[float] = None
+    step_period_ms: Optional[float] = None
+    suite_jobs: int = 25
+    suite_jobs_smoke: int = 8
 
     def resolved_deadline_ms(self) -> float:
         """The effective deadline: explicit value or the period itself."""
         return self.period_ms if self.deadline_ms is None else self.deadline_ms
+
+    def resolved_suite_jobs(self, smoke: bool) -> int:
+        """Measured rt jobs the suite schedules in the given mode."""
+        return self.suite_jobs_smoke if smoke else self.suite_jobs
 
 
 #: Per-kernel default periods/deadlines for ``rtrbench rt``.  Stylized
@@ -41,11 +53,14 @@ class RTTaskDefaults:
 #: times (roughly 2-3x headroom on the reference machine), so the
 #: unloaded default run is schedulable but not trivially so.  Override
 #: from the command line with ``--period-ms`` / ``--deadline-ms``;
-#: ``--period-ms 0`` auto-calibrates from warmup jobs.
+#: ``--period-ms 0`` auto-calibrates from warmup jobs.  Step periods
+#: (``step_period_ms``, used by ``rtrbench rt --granularity step``) are
+#: scaled the same way from measured per-iteration wall clocks of the
+#: steppable kernels; non-steppable kernels leave them ``None``.
 RT_KERNEL_DEFAULTS: Dict[str, RTTaskDefaults] = {
-    "01.pfl": RTTaskDefaults(period_ms=10_000.0),
-    "02.ekfslam": RTTaskDefaults(period_ms=500.0),
-    "03.srec": RTTaskDefaults(period_ms=30_000.0),
+    "01.pfl": RTTaskDefaults(period_ms=10_000.0, step_period_ms=120.0),
+    "02.ekfslam": RTTaskDefaults(period_ms=500.0, step_period_ms=1.0),
+    "03.srec": RTTaskDefaults(period_ms=30_000.0, step_period_ms=1_200.0),
     "04.pp2d": RTTaskDefaults(period_ms=20_000.0),
     "05.pp3d": RTTaskDefaults(period_ms=20_000.0),
     "06.movtar": RTTaskDefaults(period_ms=20_000.0),
@@ -55,9 +70,9 @@ RT_KERNEL_DEFAULTS: Dict[str, RTTaskDefaults] = {
     "10.rrtpp": RTTaskDefaults(period_ms=20_000.0),
     "11.sym-blkw": RTTaskDefaults(period_ms=10.0),
     "12.sym-fext": RTTaskDefaults(period_ms=250.0),
-    "13.dmp": RTTaskDefaults(period_ms=100.0),
-    "14.mpc": RTTaskDefaults(period_ms=3_000.0),
-    "15.cem": RTTaskDefaults(period_ms=50.0),
+    "13.dmp": RTTaskDefaults(period_ms=100.0, step_period_ms=1.0),
+    "14.mpc": RTTaskDefaults(period_ms=3_000.0, step_period_ms=8.0),
+    "15.cem": RTTaskDefaults(period_ms=50.0, step_period_ms=1.0),
     "16.bo": RTTaskDefaults(period_ms=250.0),
 }
 

@@ -116,6 +116,10 @@ def render_rt_report(report: Dict[str, Any]) -> str:
         f"period {rt['period_ms']:.3g}ms, deadline {rt['deadline_ms']:.3g}ms, "
         f"{rt['jobs']} jobs (+{rt['warmup']} warmup), overrun={rt['overrun']}"
     )
+    if rt.get("granularity") == "step":
+        header += (
+            f" [per-step, {rt.get('steps_per_episode', '?')} steps/episode]"
+        )
     if rt.get("calibrated"):
         header += " [calibrated]"
     if rt.get("smoke"):
@@ -158,6 +162,13 @@ def render_rt_report(report: Dict[str, Any]) -> str:
             f"p50 {degradation['p50_ratio']:.2f}x, "
             f"p99 {degradation['p99_ratio']:.2f}x, "
             f"miss rate {degradation['miss_rate_delta']:+.1%}"
+        )
+    if rt.get("granularity") == "step":
+        unloaded = report["conditions"]["unloaded"]
+        lines.append(
+            f"episodes: {unloaded.get('episodes', 0)} opened, last at "
+            f"step {unloaded.get('last_episode_steps', 0)}/"
+            f"{rt.get('steps_per_episode', '?')}"
         )
     breakdown = report["conditions"]["unloaded"]["phase_breakdown"]
     if breakdown.get("dominant"):

@@ -9,6 +9,7 @@ experiments and the ``rtrbench`` CLI can enumerate the whole suite.
 
 from __future__ import annotations
 
+import statistics
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Type
@@ -28,7 +29,7 @@ class KernelResult:
     ``setup_time`` the wall clock of workload construction outside it.
     With ``config.repeats > 1`` both reflect the final measured repeat,
     and ``metrics`` gains ``roi_min_s`` / ``roi_median_s`` /
-    ``roi_repeats`` summarizing the whole series.
+    ``roi_mean_s`` / ``roi_repeats`` summarizing the whole series.
     """
 
     kernel: str
@@ -45,15 +46,83 @@ class KernelResult:
         return self.profiler.fraction(phase)
 
 
+@dataclass
+class StepSession:
+    """One in-progress ROI execution, advanced one :meth:`step` at a time.
+
+    A session pins the episode-scoped pieces together: the kernel, its
+    configuration and workload ``state``, the profiler every step reports
+    into, and ``payload`` — whatever :meth:`Kernel.begin_roi` built (the
+    live filter, the controller's tracking state, ...).  ``steps_done``
+    advances monotonically; once :attr:`exhausted`, :meth:`finish` runs
+    the kernel's ``finalize`` exactly once and caches ``output``.
+
+    The batch path (``Kernel.run_roi`` of a steppable kernel) and the
+    per-iteration real-time path (:mod:`repro.rt.run` with
+    ``granularity="step"``) drive the same session object, so both
+    produce bitwise-identical outputs from identical configurations.
+    """
+
+    kernel: "Kernel"
+    config: KernelConfig
+    state: Any
+    profiler: PhaseProfiler
+    payload: Any = None
+    total_steps: int = 1
+    steps_done: int = 0
+    output: Any = None
+    finalized: bool = False
+
+    @property
+    def exhausted(self) -> bool:
+        """True once every step of this episode has run."""
+        return self.steps_done >= self.total_steps
+
+    def step(self) -> int:
+        """Run the next iteration; returns the index it executed."""
+        if self.finalized:
+            raise RuntimeError("step() on a finalized session")
+        if self.exhausted:
+            raise RuntimeError(
+                f"step() beyond the episode: {self.steps_done}/"
+                f"{self.total_steps} steps already ran"
+            )
+        index = self.steps_done
+        self.kernel.step(index, self, self.profiler)
+        self.steps_done += 1
+        return index
+
+    def finish(self) -> Any:
+        """Finalize the episode (idempotent); returns the kernel output."""
+        if not self.finalized:
+            self.output = self.kernel.finalize(self)
+            self.finalized = True
+        return self.output
+
+
 class Kernel:
     """Base class for suite kernels.
 
     Subclasses set :attr:`name` (paper id, e.g. ``"04.pp2d"``),
-    :attr:`stage` (``perception`` / ``planning`` / ``control``),
-    :attr:`config_cls`, and implement :meth:`run_roi`, which receives the
-    configuration and a profiler and returns the kernel output.  Workload
-    construction that the paper treats as outside the ROI (map loading,
-    offline phases explicitly noted as offline) belongs in :meth:`setup`.
+    :attr:`stage` (``perception`` / ``planning`` / ``control``), and
+    :attr:`config_cls`, then implement the measured region one of two
+    ways.  Workload construction the paper treats as outside the ROI
+    (map loading, offline phases explicitly noted as offline) belongs in
+    :meth:`setup` either way.
+
+    *Batch kernels* override :meth:`run_roi`, which receives the
+    configuration and a profiler and returns the kernel output in one
+    opaque call.
+
+    *Steppable kernels* instead override the per-iteration protocol —
+    :meth:`begin_roi` / :meth:`num_steps` / :meth:`step` /
+    :meth:`finalize` — and inherit ``run_roi``: the base class drives
+    all steps in one loop, so batch execution is just the degenerate
+    schedule of the steppable protocol and the two paths cannot drift
+    apart.  Conversely a kernel that overrides neither ``step`` nor
+    ``run_roi`` is incomplete, and the base ``run_roi`` raises
+    ``NotImplementedError`` rather than recursing into the single-step
+    fallback.
     """
 
     name: str = "kernel"
@@ -61,15 +130,90 @@ class Kernel:
     config_cls: Type[KernelConfig] = KernelConfig
     description: str = ""
 
+    @classmethod
+    def is_steppable(cls) -> bool:
+        """True when the kernel implements the per-iteration protocol."""
+        return cls.step is not Kernel.step
+
     def setup(self, config: KernelConfig) -> Any:
         """Build the workload (outside the ROI).  Returns setup state."""
         return None
 
+    def begin_roi(
+        self, config: KernelConfig, state: Any, profiler: PhaseProfiler
+    ) -> Any:
+        """Build episode-scoped objects (inside the ROI); returns payload.
+
+        Runs once per episode, before the first :meth:`step`.  Anything
+        the steps mutate — the live filter, the solver, accumulators —
+        belongs here rather than in :meth:`setup`, so reopening a session
+        on the same workload state replays the episode from scratch.
+        """
+        return None
+
+    def num_steps(self, config: KernelConfig, state: Any) -> int:
+        """How many iterations one episode runs (1 for batch kernels)."""
+        return 1
+
+    def step(
+        self, index: int, session: StepSession, profiler: PhaseProfiler
+    ) -> None:
+        """Run iteration ``index`` of the episode.
+
+        The base implementation makes every batch kernel a single-step
+        steppable: the whole ``run_roi`` body is the one step.
+        """
+        session.output = self.run_roi(
+            session.config, session.state, profiler
+        )
+
+    def finalize(self, session: StepSession) -> Any:
+        """Assemble the kernel output after the last step."""
+        return session.output
+
+    def open_session(
+        self,
+        config: Optional[KernelConfig] = None,
+        state: Any = None,
+        profiler: Optional[PhaseProfiler] = None,
+    ) -> StepSession:
+        """Start one episode: run ``begin_roi`` and size the step count.
+
+        ``state=None`` builds the workload via :meth:`setup` first (an
+        explicit ``state`` lets callers reuse one workload across many
+        episodes — the persistent-session real-time mode).
+        """
+        if config is None:
+            config = self.config_cls()
+        if state is None:
+            state = self.setup(config)
+        if profiler is None:
+            profiler = PhaseProfiler()
+        session = StepSession(
+            kernel=self, config=config, state=state, profiler=profiler
+        )
+        session.payload = self.begin_roi(config, state, profiler)
+        session.total_steps = int(self.num_steps(config, state))
+        return session
+
     def run_roi(
         self, config: KernelConfig, state: Any, profiler: PhaseProfiler
     ) -> Any:
-        """Execute the measured region.  Must be overridden."""
-        raise NotImplementedError
+        """Execute the measured region.
+
+        Steppable kernels inherit this: it opens a session and drives
+        every step back-to-back.  Batch kernels must override it.
+        """
+        if not self.is_steppable():
+            raise NotImplementedError
+        session = StepSession(
+            kernel=self, config=config, state=state, profiler=profiler
+        )
+        session.payload = self.begin_roi(config, state, profiler)
+        session.total_steps = int(self.num_steps(config, state))
+        while not session.exhausted:
+            session.step()
+        return session.finish()
 
     def _run_once(self, config: KernelConfig) -> KernelResult:
         """One setup + ROI execution under a fresh profiler."""
@@ -116,15 +260,9 @@ class Kernel:
             roi_times.append(result.roi_time)
         assert result is not None
         if repeats > 1 or warmup > 0:
-            ordered = sorted(roi_times)
-            mid = len(ordered) // 2
-            median = (
-                ordered[mid]
-                if len(ordered) % 2
-                else 0.5 * (ordered[mid - 1] + ordered[mid])
-            )
             result.metrics["roi_min_s"] = min(roi_times)
-            result.metrics["roi_median_s"] = median
+            result.metrics["roi_median_s"] = statistics.median(roi_times)
+            result.metrics["roi_mean_s"] = statistics.fmean(roi_times)
             result.metrics["roi_repeats"] = float(repeats)
         return result
 

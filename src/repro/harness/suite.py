@@ -53,12 +53,26 @@ SMOKE_KERNELS = (
     "16.bo",
 )
 
-#: Kernels scheduled as periodic rt tasks alongside characterization.
-#: Fast kernels only — an rt task runs ``jobs`` full kernel iterations,
-#: and the suite's job is to exercise the rt pipeline, not to time every
-#: kernel twice; ``rtrbench rt`` covers the rest on demand.
-RT_SUITE_KERNELS = ("13.dmp", "15.cem", "16.bo")
-RT_SUITE_KERNELS_SMOKE = ("13.dmp", "15.cem")
+#: Kernels scheduled as periodic rt tasks alongside characterization,
+#: as ``(kernel, granularity)`` pairs.  ``"run"`` granularity releases
+#: full kernel runs as jobs, so only fast kernels qualify — the suite's
+#: job is to exercise the rt pipeline, not to time every kernel twice.
+#: ``"step"`` granularity releases single iterations on a persistent
+#: session, which is how slow kernels (pfl, mpc) become rt-schedulable;
+#: their per-job cost is one scan update / control tick.  ``rtrbench
+#: rt`` covers the rest on demand.
+RT_SUITE_KERNELS = (
+    ("13.dmp", "run"),
+    ("15.cem", "run"),
+    ("16.bo", "run"),
+    ("01.pfl", "step"),
+    ("14.mpc", "step"),
+)
+RT_SUITE_KERNELS_SMOKE = (
+    ("13.dmp", "run"),
+    ("15.cem", "run"),
+    ("13.dmp", "step"),
+)
 
 
 def _fingerprint(payload: Any) -> str:
@@ -117,15 +131,24 @@ def suite_tasks(
         }
         for scale in scales
     )
+    from repro.harness.config import rt_defaults
+
     tasks.extend(
         {
             "section": "rt",
-            "name": f"rt:{kernel}",
+            "name": (
+                f"rt:{kernel}"
+                if granularity == "run"
+                else f"rt:{kernel}:step"
+            ),
             "kernel": kernel,
+            "granularity": granularity,
             "smoke": smoke,
-            "jobs": 8 if smoke else 25,
+            "jobs": rt_defaults(kernel).resolved_suite_jobs(smoke),
         }
-        for kernel in (RT_SUITE_KERNELS_SMOKE if smoke else RT_SUITE_KERNELS)
+        for kernel, granularity in (
+            RT_SUITE_KERNELS_SMOKE if smoke else RT_SUITE_KERNELS
+        )
     )
     return tasks
 
@@ -181,6 +204,7 @@ def run_suite_task(task: Dict[str, Any]) -> Dict[str, Any]:
             period_ms=0,  # auto-calibrate: suite runs on unknown machines
             jobs=task["jobs"],
             smoke=task["smoke"],
+            granularity=task.get("granularity", "run"),
         )
         unloaded = report["conditions"]["unloaded"]
         payload = {
@@ -189,6 +213,7 @@ def run_suite_task(task: Dict[str, Any]) -> Dict[str, Any]:
             # Timing-only task: no deterministic counters to fingerprint.
             "fingerprint": None,
             "detail": {
+                "granularity": report["rt"]["granularity"],
                 "period_ms": report["rt"]["period_ms"],
                 "deadline_ms": report["rt"]["deadline_ms"],
                 "miss_rate": unloaded["miss_rate"],

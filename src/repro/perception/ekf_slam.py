@@ -263,7 +263,10 @@ class EkfSlamKernel(Kernel):
             seed=config.seed,
         )
 
-    def run_roi(
+    # Steppable protocol: one step is one predict/sense/update cycle over
+    # the next precomputed observation batch.
+
+    def begin_roi(
         self,
         config: EkfSlamConfig,
         state: EkfSlamWorkload,
@@ -276,18 +279,36 @@ class EkfSlamKernel(Kernel):
             profiler=profiler,
         )
         slam.set_pose(state.true_poses[0])
-        pose_errors = []
-        for (v, w), obs, true_pose in zip(
-            state.controls, state.observations, state.true_poses[1:]
-        ):
-            slam.predict(v, w, state.dt)
-            with profiler.phase("sensing"):
-                pass  # observations are precomputed in setup
-            slam.update(obs)
-            with profiler.phase("bookkeeping"):
-                pose_errors.append(
-                    slam.pose_estimate().distance_to(true_pose)
+        return {"slam": slam, "pose_errors": []}
+
+    def num_steps(
+        self, config: EkfSlamConfig, state: EkfSlamWorkload
+    ) -> int:
+        return min(
+            len(state.controls),
+            len(state.observations),
+            len(state.true_poses) - 1,
+        )
+
+    def step(self, index, session, profiler) -> None:
+        state = session.state
+        slam = session.payload["slam"]
+        v, w = state.controls[index]
+        slam.predict(v, w, state.dt)
+        with profiler.phase("sensing"):
+            pass  # observations are precomputed in setup
+        slam.update(state.observations[index])
+        with profiler.phase("bookkeeping"):
+            session.payload["pose_errors"].append(
+                slam.pose_estimate().distance_to(
+                    state.true_poses[index + 1]
                 )
+            )
+
+    def finalize(self, session) -> dict:
+        state = session.state
+        slam = session.payload["slam"]
+        pose_errors = session.payload["pose_errors"]
         landmark_errors = [
             float(np.linalg.norm(slam.landmark_estimate(j) - state.landmarks[j]))
             for j in range(len(state.landmarks))

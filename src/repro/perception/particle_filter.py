@@ -349,7 +349,10 @@ class PflKernel(Kernel):
             map_cols=config.map_cols,
         )
 
-    def run_roi(
+    # Steppable protocol: one step processes one (odometry, scan) pair —
+    # exactly one iteration of the robot's sensor loop.
+
+    def begin_roi(
         self, config: PflConfig, state: PflWorkload, profiler: PhaseProfiler
     ) -> dict:
         pf = ParticleFilter(
@@ -363,15 +366,26 @@ class PflKernel(Kernel):
             backend=config.backend,
         )
         pf.initialize_uniform()
-        spread_before = pf.spread()
-        for odom, scan in zip(state.odometry, state.scans):
-            pf.update(odom, scan)
+        return {"pf": pf, "spread_before": pf.spread()}
+
+    def num_steps(self, config: PflConfig, state: PflWorkload) -> int:
+        return min(len(state.odometry), len(state.scans))
+
+    def step(self, index, session, profiler) -> None:
+        state = session.state
+        session.payload["pf"].update(
+            state.odometry[index], state.scans[index]
+        )
+
+    def finalize(self, session) -> dict:
+        pf = session.payload["pf"]
+        state = session.state
         estimate = pf.estimate()
         true_final = state.true_poses[-1]
         return {
             "estimate": estimate,
             "true_pose": true_final,
             "error": estimate.distance_to(true_final),
-            "spread_before": spread_before,
+            "spread_before": session.payload["spread_before"],
             "spread_after": pf.spread(),
         }

@@ -184,7 +184,13 @@ class SrecKernel(Kernel):
             seed=config.seed,
         )
 
-    def run_roi(
+    # Steppable protocol: one step integrates one incoming frame (the
+    # full ICP refinement for that frame).  A frame is the natural rt
+    # job — a deployed reconstructor is released per depth image, and
+    # ICP iterations within a frame share mutable alignment state that
+    # cannot meaningfully be preempted between releases.
+
+    def begin_roi(
         self, config: SrecConfig, state: SrecWorkload, profiler: PhaseProfiler
     ) -> dict:
         recon = SceneReconstruction(
@@ -192,13 +198,25 @@ class SrecKernel(Kernel):
             profiler=profiler,
             backend=config.backend,
         )
-        pose_errors = []
-        for scan in state.scans:
-            estimated = recon.integrate(scan.points)
-            true = scan.true_pose
-            pose_errors.append(
-                float(np.linalg.norm(estimated.translation - true.translation))
+        return {"recon": recon, "pose_errors": []}
+
+    def num_steps(self, config: SrecConfig, state: SrecWorkload) -> int:
+        return len(state.scans)
+
+    def step(self, index, session, profiler) -> None:
+        scan = session.state.scans[index]
+        estimated = session.payload["recon"].integrate(scan.points)
+        session.payload["pose_errors"].append(
+            float(
+                np.linalg.norm(
+                    estimated.translation - scan.true_pose.translation
+                )
             )
+        )
+
+    def finalize(self, session) -> dict:
+        recon = session.payload["recon"]
+        pose_errors = session.payload["pose_errors"]
         return {
             "pose_errors": pose_errors,
             "final_pose_error": pose_errors[-1],

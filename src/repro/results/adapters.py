@@ -205,6 +205,27 @@ def record_from_rt(
         "rt.deadline_ms": Measurement(float(rt["deadline_ms"]), unit="ms"),
         "slo.pass": _flag(report["slo"]["verdict"] == "pass"),
     }
+    # Step-granularity runs additionally expose the per-iteration SLO
+    # numbers under stable ``rt.step.*`` names for the rt.step-* gates.
+    if rt.get("granularity") == "step":
+        unloaded = report.get("conditions", {}).get("unloaded", {})
+        step_response = unloaded.get("response_ms", {})
+        if "p99" in step_response:
+            measurements["rt.step.p99_ms"] = Measurement(
+                float(step_response["p99"]),
+                unit="ms",
+                higher_is_better=False,
+            )
+            deadline_ms = float(rt["deadline_ms"])
+            if deadline_ms > 0:
+                measurements["rt.step.p99_deadline_ratio"] = _ratio(
+                    float(step_response["p99"]) / deadline_ms,
+                    higher_is_better=False,
+                )
+        if "miss_rate" in unloaded:
+            measurements["rt.step.miss_rate"] = _ratio(
+                unloaded["miss_rate"], higher_is_better=False
+            )
     for condition, summary in report.get("conditions", {}).items():
         response = summary.get("response_ms", {})
         jitter = summary.get("jitter_ms", {})
@@ -245,6 +266,7 @@ def record_from_rt(
         provenance={
             "kernel": rt.get("kernel"),
             "stage": rt.get("stage"),
+            "granularity": rt.get("granularity", "run"),
             "jobs": rt.get("jobs"),
             "warmup": rt.get("warmup"),
             "overrun": rt.get("overrun"),

@@ -192,6 +192,15 @@ DEFAULT_GATES: List[Dict[str, Any]] = [
     {"name": "rt.interference-degrades", "kind": "rt",
      "metric": "degradation.p99_ratio", "op": ">", "threshold": 1.0,
      "on_missing": "skip", "skip_tags": ["smoke"]},
+    # rt, step granularity: per-iteration SLO numbers.  ``on_missing:
+    # skip`` keeps run-granularity records (which never emit rt.step.*)
+    # judged exactly as before.
+    {"name": "rt.step-miss-rate-ceiling", "kind": "rt",
+     "metric": "rt.step.miss_rate", "op": "<=", "threshold": 0.1,
+     "on_missing": "skip", "skip_tags": ["smoke"]},
+    {"name": "rt.step-p99-deadline-ceiling", "kind": "rt",
+     "metric": "rt.step.p99_deadline_ratio", "op": "<=", "threshold": 1.0,
+     "on_missing": "skip", "skip_tags": ["smoke"]},
 ]
 
 

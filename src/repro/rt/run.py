@@ -2,23 +2,41 @@
 
 Glue between the rt building blocks and the rest of the harness: resolve
 a kernel from the registry, run it as a periodic task through
-:class:`~repro.rt.scheduler.PeriodicScheduler` (each job is one
-``Kernel._run_once`` — the same setup + ROI + profiler path every other
-experiment uses), optionally repeat the run under antagonist load, and
-assemble the machine-readable report with latency quantiles, release
-jitter, deadline-miss rate, an SLO verdict, and a phase breakdown with
-per-phase min/max durations from the shared profiler stats.
+:class:`~repro.rt.scheduler.PeriodicScheduler`, optionally repeat the
+run under antagonist load, and assemble the machine-readable report
+with latency quantiles, release jitter, deadline-miss rate, an SLO
+verdict, and a phase breakdown with per-phase min/max durations from
+the shared profiler stats.
+
+Two execution granularities (``granularity=``):
+
+* ``"run"`` — each periodic job is one ``Kernel._run_once`` (setup +
+  full ROI, the same path every other experiment uses).  The original
+  model; works for every kernel.
+* ``"step"`` — each periodic job is one ``step()`` on a persistent
+  :class:`~repro.harness.runner.StepSession` over a workload built
+  once.  This is the RT-Bench periodic-application model at the
+  kernel's natural iteration rate (one scan, one control tick, one CEM
+  generation...), so deadline/SLO accounting becomes per-iteration and
+  slow kernels like pfl and mpc are rt-schedulable.  When a session
+  exhausts its episode, the next job finalizes it and opens a fresh
+  episode on the same workload state — that episode-boundary job also
+  pays the kernel's ``begin_roi``, exactly like a deployed system
+  re-initializing between missions.
 
 The CI contract — outside smoke mode the unloaded SLO must pass, and an
 antagonist run must actually degrade p99 latency — is expressed as the
 ``rt.*`` gate declarations in :data:`repro.results.gates.DEFAULT_GATES`
 and enforced by ``rtrbench gate`` over the record that ``rtrbench rt``
-emits (the ``check_rt_floors`` checker that used to live here).
+emits (the ``check_rt_floors`` checker that used to live here); step
+records additionally carry the ``rt.step.*`` measurements their own
+``rt.step-*`` gates judge.
 """
 
 from __future__ import annotations
 
 import statistics
+import time
 from typing import Any, Dict, Optional
 
 from repro.harness.config import KernelConfig, rt_defaults
@@ -26,8 +44,11 @@ from repro.harness.profiler import PhaseProfiler
 from repro.harness.runner import Kernel, load_all_kernels, registry
 from repro.rt.histogram import LatencyHistogram
 from repro.rt.interference import AntagonistPool
-from repro.rt.scheduler import PeriodicScheduler
+from repro.rt.scheduler import JobOutput, PeriodicScheduler
 from repro.rt.slo import SLOPolicy, evaluate_slo, summarize_jobs
+
+#: Valid execution granularities, in documentation order.
+GRANULARITIES = ("run", "step")
 
 #: Deadline-miss budget outside smoke mode (10% of jobs may miss).
 RT_DEFAULT_MAX_MISS_RATE = 0.1
@@ -43,23 +64,45 @@ CALIBRATION_MIN_PERIOD_S = 1e-3
 
 
 def calibrate_period_s(
-    kernel: Kernel, config: KernelConfig, samples: int = 3
+    kernel: Kernel,
+    config: KernelConfig,
+    samples: int = 3,
+    granularity: str = "run",
+    state: Any = None,
 ) -> float:
     """Measure unpaced job wall clock and pick a schedulable period.
 
-    One untimed run warms the workload cache, then the median of
-    ``samples`` timed runs (setup + ROI, exactly what a periodic job
-    costs) is scaled by :data:`CALIBRATION_HEADROOM` — a period the
-    unloaded machine can hold without being trivially loose.
+    One untimed job warms the workload cache, then the median of
+    ``samples`` timed jobs — a full setup + ROI run for
+    ``granularity="run"``, one session step (exactly what a periodic
+    step job costs) for ``granularity="step"`` — is scaled by
+    :data:`CALIBRATION_HEADROOM`, a period the unloaded machine can
+    hold without being trivially loose.
     """
-    import time
-
-    kernel._run_once(config)
-    walls = []
-    for _ in range(max(1, samples)):
-        t0 = time.monotonic()
+    if granularity == "step":
+        if state is None:
+            state = kernel.setup(config)
+        session = kernel.open_session(config, state=state)
+        if session.total_steps < 1:
+            raise ValueError(
+                f"kernel {kernel.name} produced an empty episode; "
+                "cannot calibrate a step period"
+            )
+        session.step()  # untimed warm step (pays begin_roi cache effects)
+        walls = []
+        for _ in range(max(1, samples)):
+            if session.exhausted:
+                session = kernel.open_session(config, state=state)
+            t0 = time.monotonic()
+            session.step()
+            walls.append(time.monotonic() - t0)
+    else:
         kernel._run_once(config)
-        walls.append(time.monotonic() - t0)
+        walls = []
+        for _ in range(max(1, samples)):
+            t0 = time.monotonic()
+            kernel._run_once(config)
+            walls.append(time.monotonic() - t0)
     return max(
         CALIBRATION_MIN_PERIOD_S,
         CALIBRATION_HEADROOM * statistics.median(walls),
@@ -95,16 +138,58 @@ def run_condition(
     jobs: int,
     warmup: int = 0,
     overrun: str = "skip",
+    granularity: str = "run",
+    state: Any = None,
 ) -> Dict[str, Any]:
-    """One periodic run of ``kernel`` under the current machine condition."""
+    """One periodic run of ``kernel`` under the current machine condition.
+
+    ``granularity="run"``: every job is a fresh setup + full ROI.
+    ``granularity="step"``: jobs advance a persistent step session over
+    the caller-provided ``state``; exhausted episodes are finalized and
+    reopened in place.  The per-step phase breakdown aggregates every
+    step the condition executed (warmup steps share their episode's
+    profiler, so unlike run granularity they are not excluded from the
+    phase stats — only from the latency/response statistics).
+    """
     aggregate = PhaseProfiler()
     roi_hist = LatencyHistogram()
 
-    def job(index: int) -> None:
-        result = kernel._run_once(config)
-        if index >= warmup:
-            aggregate.merge(result.profiler)
-            roi_hist.record(result.roi_time)
+    if granularity == "step":
+        box: Dict[str, Any] = {"session": None, "episodes": 0}
+
+        def job(index: int) -> JobOutput:
+            session = box["session"]
+            if session is None or session.exhausted:
+                if session is not None:
+                    session.finish()
+                session = kernel.open_session(
+                    config, state=state, profiler=aggregate
+                )
+                if session.total_steps < 1:
+                    raise ValueError(
+                        f"kernel {kernel.name} produced an empty episode"
+                    )
+                box["session"] = session
+                box["episodes"] += 1
+            t0 = time.monotonic()
+            step_index = session.step()
+            wall = time.monotonic() - t0
+            if index >= warmup:
+                roi_hist.record(wall)
+            return JobOutput(
+                meta={
+                    "episode": box["episodes"] - 1,
+                    "step": step_index,
+                }
+            )
+
+    else:
+
+        def job(index: int) -> None:
+            result = kernel._run_once(config)
+            if index >= warmup:
+                aggregate.merge(result.profiler)
+                roi_hist.record(result.roi_time)
 
     scheduler = PeriodicScheduler(
         period_s=period_s, deadline_s=deadline_s, overrun=overrun
@@ -116,6 +201,14 @@ def run_condition(
     summary["roi_ms"] = roi_hist.summary(scale=1e3)
     summary["busy_s"] = sum(r.latency_s for r in schedule.measured())
     summary["phase_breakdown"] = _phase_block(aggregate)
+    if granularity == "step":
+        session = box["session"]
+        if session is not None and session.exhausted:
+            session.finish()
+        summary["episodes"] = box["episodes"]
+        summary["last_episode_steps"] = (
+            0 if session is None else session.steps_done
+        )
     return summary
 
 
@@ -131,22 +224,37 @@ def run_rt(
     smoke: bool = False,
     max_miss_rate: Optional[float] = None,
     config: Optional[KernelConfig] = None,
+    granularity: str = "run",
     **overrides: Any,
 ) -> Dict[str, Any]:
     """Run a registered kernel as a periodic task; return the rt report.
 
+    ``granularity="run"`` schedules full kernel runs as jobs;
+    ``granularity="step"`` (steppable kernels only) schedules single
+    iterations on a persistent session over one shared workload.
     ``period_ms=None`` takes the kernel's default from
-    :data:`repro.harness.config.RT_KERNEL_DEFAULTS`; ``period_ms=0``
-    auto-calibrates from warmup wall clock.  ``deadline_ms`` defaults to
-    the period (implicit deadline).  With ``antagonists > 0`` the run
-    executes twice — unloaded, then under the antagonist pool — and the
-    report records both conditions side by side with degradation ratios.
-    ``overrides`` patch the kernel's configuration, mirroring
-    ``rtrbench run`` flags.
+    :data:`repro.harness.config.RT_KERNEL_DEFAULTS` (``period_ms`` for
+    run granularity, ``step_period_ms`` for step granularity, falling
+    back to auto-calibration when the kernel has no step default);
+    ``period_ms=0`` always auto-calibrates from unpaced warmup jobs.
+    ``deadline_ms`` defaults to the period (implicit deadline).  With
+    ``antagonists > 0`` the run executes twice — unloaded, then under
+    the antagonist pool — and the report records both conditions side by
+    side with degradation ratios.  ``overrides`` patch the kernel's
+    configuration, mirroring ``rtrbench run`` flags.
     """
+    if granularity not in GRANULARITIES:
+        raise ValueError(
+            f"unknown granularity {granularity!r}; "
+            f"expected one of {GRANULARITIES}"
+        )
     load_all_kernels()
     cls = registry.get(kernel)
     instance = cls()
+    if granularity == "step" and not cls.is_steppable():
+        raise ValueError(
+            f"kernel {cls.name} is not steppable; use granularity='run'"
+        )
     if config is None:
         config = cls.config_cls(**overrides) if overrides else cls.config_cls()
     elif overrides:
@@ -155,18 +263,31 @@ def run_rt(
     jobs = (12 if smoke else 50) if jobs is None else int(jobs)
     warmup = (1 if smoke else 3) if warmup is None else max(0, int(warmup))
     defaults = rt_defaults(cls.name)
+    # Step granularity builds the workload once, outside every job.
+    state = instance.setup(config) if granularity == "step" else None
     calibrated = False
     if period_ms is None:
-        period_s = defaults.period_ms / 1e3
+        if granularity == "step":
+            if defaults.step_period_ms is not None:
+                period_s = defaults.step_period_ms / 1e3
+            else:
+                period_s = calibrate_period_s(
+                    instance, config, granularity="step", state=state
+                )
+                calibrated = True
+        else:
+            period_s = defaults.period_ms / 1e3
     elif period_ms <= 0.0:
-        period_s = calibrate_period_s(instance, config)
+        period_s = calibrate_period_s(
+            instance, config, granularity=granularity, state=state
+        )
         calibrated = True
     else:
         period_s = period_ms / 1e3
     if deadline_ms is None:
         deadline_s = (
             period_s
-            if calibrated or period_ms is not None
+            if calibrated or period_ms is not None or granularity == "step"
             else defaults.resolved_deadline_ms() / 1e3
         )
     else:
@@ -181,6 +302,8 @@ def run_rt(
             jobs=jobs,
             warmup=warmup,
             overrun=overrun,
+            granularity=granularity,
+            state=state,
         )
     }
     degradation: Optional[Dict[str, float]] = None
@@ -194,6 +317,8 @@ def run_rt(
                 jobs=jobs,
                 warmup=warmup,
                 overrun=overrun,
+                granularity=granularity,
+                state=state,
             )
         loaded["antagonists"] = antagonists
         loaded["antagonist_kind"] = antagonist_kind
@@ -215,21 +340,27 @@ def run_rt(
     policy = SLOPolicy(deadline_s=deadline_s, max_miss_rate=max_miss_rate)
     verdict = evaluate_slo(conditions["unloaded"], policy)
 
+    rt_block: Dict[str, Any] = {
+        "kernel": cls.name,
+        "stage": cls.stage,
+        "granularity": granularity,
+        "period_ms": period_s * 1e3,
+        "deadline_ms": deadline_s * 1e3,
+        "jobs": jobs,
+        "warmup": warmup,
+        "overrun": overrun,
+        "smoke": smoke,
+        "calibrated": calibrated,
+        "antagonists": antagonists,
+        "antagonist_kind": antagonist_kind if antagonists else None,
+        "config": config.describe(),
+    }
+    if granularity == "step":
+        rt_block["steps_per_episode"] = int(
+            instance.num_steps(config, state)
+        )
     return {
-        "rt": {
-            "kernel": cls.name,
-            "stage": cls.stage,
-            "period_ms": period_s * 1e3,
-            "deadline_ms": deadline_s * 1e3,
-            "jobs": jobs,
-            "warmup": warmup,
-            "overrun": overrun,
-            "smoke": smoke,
-            "calibrated": calibrated,
-            "antagonists": antagonists,
-            "antagonist_kind": antagonist_kind if antagonists else None,
-            "config": config.describe(),
-        },
+        "rt": rt_block,
         "conditions": conditions,
         "degradation": degradation,
         "slo": {"policy": policy.as_dict(), **verdict.as_dict()},

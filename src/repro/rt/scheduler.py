@@ -29,10 +29,23 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 #: Valid overrun policies, in documentation order.
 OVERRUN_POLICIES = ("skip", "queue")
+
+
+@dataclass
+class JobOutput:
+    """Wrapper a job function may return to annotate its record.
+
+    ``value`` is stored in ``ScheduleResult.outputs`` (when kept) and
+    ``meta`` lands on the job's :class:`JobRecord` — e.g. which session
+    episode and step index a per-iteration real-time job executed.
+    """
+
+    value: Any = None
+    meta: Optional[Dict[str, Any]] = None
 
 
 @dataclass
@@ -43,7 +56,8 @@ class JobRecord:
     deadline compares against; ``latency_s`` (completion minus actual
     start) is pure service time; ``jitter_s`` (actual start minus
     scheduled release) is the release-time error the scheduler itself
-    introduced — sleep overshoot or a queued backlog.
+    introduced — sleep overshoot or a queued backlog.  ``meta`` is the
+    job function's own annotation (via :class:`JobOutput`), if any.
     """
 
     index: int
@@ -51,6 +65,7 @@ class JobRecord:
     start_s: float
     end_s: float
     warmup: bool = False
+    meta: Optional[Dict[str, Any]] = None
 
     @property
     def response_s(self) -> float:
@@ -86,6 +101,9 @@ class ScheduleResult:
     records: List[JobRecord] = field(default_factory=list)
     skipped_releases: int = 0
     outputs: List[Any] = field(default_factory=list)
+    #: True when the loop ended before its job budget — the job function
+    #: raised ``StopIteration`` (no more work to release).
+    stopped_early: bool = False
 
     def measured(self) -> List[JobRecord]:
         """The non-warmup jobs, in release order."""
@@ -109,9 +127,14 @@ class PeriodicScheduler:
     """Release jobs on a fixed period and record per-job timing.
 
     ``job_fn`` receives the job index and may return an output (kept in
-    ``ScheduleResult.outputs`` for non-warmup jobs).  ``warmup`` jobs run
-    first, on the same release grid, but are excluded from statistics —
-    they absorb cache warming and JIT-ish first-run effects.
+    ``ScheduleResult.outputs`` for non-warmup jobs); returning a
+    :class:`JobOutput` additionally attaches its ``meta`` dict to the
+    job's record.  Raising ``StopIteration`` from ``job_fn`` ends the
+    loop cleanly before the job budget — the aborted release produces no
+    record and the result is flagged ``stopped_early``.  ``warmup`` jobs
+    run first, on the same release grid, but are excluded from
+    statistics — they absorb cache warming and JIT-ish first-run
+    effects.
     """
 
     def __init__(
@@ -162,8 +185,16 @@ class PeriodicScheduler:
                 self._sleep(release - now)
                 now = self._clock()
             start = now
-            output = job_fn(index)
+            try:
+                output = job_fn(index)
+            except StopIteration:
+                result.stopped_early = True
+                break
             end = self._clock()
+            meta = None
+            if isinstance(output, JobOutput):
+                meta = output.meta
+                output = output.value
             is_warmup = index < warmup
             result.records.append(
                 JobRecord(
@@ -172,6 +203,7 @@ class PeriodicScheduler:
                     start_s=start - t0,
                     end_s=end - t0,
                     warmup=is_warmup,
+                    meta=meta,
                 )
             )
             if keep_outputs and not is_warmup:

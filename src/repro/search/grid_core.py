@@ -344,11 +344,18 @@ def astar_flat(
     g = [math.inf] * n
     parent = [-1] * n
     closed = bytearray(n)
+    # Latest push's FIFO ticket per node: the flat analogue of the
+    # reference queue's tombstoning.  A decrease-key that leaves f
+    # unchanged (equal-f corridors) would otherwise let the *stale*
+    # entry's earlier ticket win f-ties the reference resolves in favor
+    # of older entries for other nodes — diverging expansion order.
+    live = [-1] * n
     g[start] = 0.0
 
     heap: List[Tuple[float, int, int]] = []
     counter = 0
     heapq.heappush(heap, (0.0 + epsilon * heuristic(start), counter, start))
+    live[start] = counter
     pushes = 1
     pops = 0
     expansions = 0
@@ -357,9 +364,9 @@ def astar_flat(
     heappop = heapq.heappop
 
     while heap:
-        _, _, idx = heappop(heap)
-        if closed[idx]:
-            continue  # superseded entry: its improvement was expanded first
+        _, ticket, idx = heappop(heap)
+        if closed[idx] or ticket != live[idx]:
+            continue  # superseded entry: a newer push owns this node
         pops += 1
         if idx == goal:
             path = [idx]
@@ -388,6 +395,7 @@ def astar_flat(
                 counter += 1
                 heappush(heap, (tentative + epsilon * heuristic(nidx),
                                 counter, nidx))
+                live[nidx] = counter
                 pushes += 1
                 generated += 1
     return FlatSearchResult(

@@ -47,6 +47,25 @@ def test_list_command_prints_all_kernels(capsys):
         assert name in out
 
 
+def test_list_marks_steppable_kernels(capsys):
+    assert main(["list"]) == 0
+    lines = capsys.readouterr().out.splitlines()
+    by_name = {line.split()[0]: line for line in lines if line.strip()}
+    assert "steppable" in by_name["01.pfl"]
+    assert "batch" in by_name["16.bo"]
+
+
+def test_list_json_is_machine_readable(capsys):
+    assert main(["list", "--json"]) == 0
+    rows = json.loads(capsys.readouterr().out)
+    by_name = {row["name"]: row for row in rows}
+    assert len(by_name) >= 16
+    assert by_name["01.pfl"]["stage"] == "perception"
+    assert by_name["01.pfl"]["steppable"] is True
+    assert by_name["16.bo"]["steppable"] is False
+    assert by_name["14.mpc"]["description"]
+
+
 def test_run_without_kernel_errors(capsys):
     assert main(["run"]) == 2
     assert "usage" in capsys.readouterr().err

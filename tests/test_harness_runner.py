@@ -9,6 +9,7 @@ from repro.harness.profiler import PhaseProfiler
 from repro.harness.runner import (
     Kernel,
     KernelRegistry,
+    StepSession,
     load_all_kernels,
     registry,
     run_kernel,
@@ -163,3 +164,94 @@ def test_run_kernel_override_on_config():
     result = run_kernel("cem", config=config, seed=2)
     assert result.config.seed == 2
     assert result.config.iterations == 1
+
+
+# -- steppable protocol --------------------------------------------------------
+
+
+@dataclass
+class _SteppableConfig(KernelConfig):
+    steps: int = option(4, "Iterations per episode")
+
+
+class _SteppableKernel(Kernel):
+    name = "97.steppable-toy"
+    stage = "testing"
+    config_cls = _SteppableConfig
+
+    def setup(self, config):
+        return list(range(config.steps))
+
+    def begin_roi(self, config, state, profiler):
+        return {"acc": 0}
+
+    def num_steps(self, config, state):
+        return len(state)
+
+    def step(self, index, session, profiler):
+        with profiler.phase("compute"):
+            session.payload["acc"] += session.state[index]
+            profiler.count("steps", 1)
+
+    def finalize(self, session):
+        return {"total": session.payload["acc"]}
+
+
+def test_is_steppable_flag():
+    assert _SteppableKernel.is_steppable()
+    assert not _ToyKernel.is_steppable()  # batch kernel: no step override
+
+
+def test_batch_kernel_acts_as_single_step_session():
+    """A batch kernel is a degenerate steppable kernel with one step."""
+    kernel = _ToyKernel()
+    session = kernel.open_session(_ToyConfig(value=4))
+    assert session.total_steps == 1
+    assert not session.exhausted
+    session.step()
+    assert session.exhausted
+    assert session.finish() == 8
+
+
+def test_steppable_kernel_inherited_run_roi_drives_all_steps():
+    kernel = _SteppableKernel()
+    config = _SteppableConfig(steps=5)
+    profiler = PhaseProfiler()
+    output = kernel.run_roi(config, kernel.setup(config), profiler)
+    assert output == {"total": 0 + 1 + 2 + 3 + 4}
+    assert profiler.counters["steps"] == 5
+
+
+def test_open_session_defaults_and_manual_stepping():
+    session = _SteppableKernel().open_session()
+    assert isinstance(session, StepSession)
+    assert session.total_steps == 4
+    indices = []
+    while not session.exhausted:
+        indices.append(session.step())
+    assert indices == [0, 1, 2, 3]
+    assert session.finish() == {"total": 6}
+
+
+def test_session_refuses_steps_past_exhaustion_or_finalize():
+    session = _SteppableKernel().open_session(_SteppableConfig(steps=1))
+    session.step()
+    with pytest.raises(RuntimeError, match="beyond the episode"):
+        session.step()
+    first = session.finish()
+    assert session.finish() is first  # idempotent
+    with pytest.raises(RuntimeError, match="finalized"):
+        session.step()
+
+
+def test_steppable_kernel_runs_through_standard_runner():
+    result = _SteppableKernel().run(_SteppableConfig(steps=3))
+    assert result.output == {"total": 3}
+    assert result.profiler.counters["steps"] == 3
+
+
+def test_repeats_report_mean_alongside_median():
+    result = _ToyKernel().run(_ToyConfig(value=2, repeats=3, warmup=0))
+    assert result.metrics["roi_mean_s"] > 0.0
+    assert result.metrics["roi_min_s"] <= result.metrics["roi_mean_s"]
+    assert result.metrics["roi_repeats"] == 3.0

@@ -29,8 +29,9 @@ def test_suite_tasks_cover_all_sections():
     assert len(names) == len(set(names))
     for kernel in SMOKE_KERNELS:
         assert f"characterize:{kernel}" in names
-    for kernel in RT_SUITE_KERNELS_SMOKE:
-        assert f"rt:{kernel}" in names
+    for kernel, granularity in RT_SUITE_KERNELS_SMOKE:
+        suffix = ":step" if granularity == "step" else ""
+        assert f"rt:{kernel}{suffix}" in names
 
 
 def test_filter_tasks_by_full_name_glob():

@@ -151,6 +151,103 @@ def test_unknown_kernel_raises():
         run_rt("no-such-kernel", jobs=1, smoke=True)
 
 
+# -- step granularity ----------------------------------------------------------
+
+
+#: Tiny dmp configuration: ~0.03ms steps, 31 steps per episode.
+DMP_OVERRIDES = dict(demo_steps=60, dt=0.05, basis=8)
+
+
+@pytest.fixture(scope="module")
+def step_report():
+    """One shared per-step smoke run of dmp paced at 2ms."""
+    return run_rt(
+        "dmp",
+        period_ms=2.0,
+        jobs=12,
+        warmup=2,
+        smoke=True,
+        granularity="step",
+        **DMP_OVERRIDES,
+    )
+
+
+def test_step_report_declares_granularity(step_report):
+    rt = step_report["rt"]
+    assert rt["granularity"] == "step"
+    assert rt["steps_per_episode"] > 1
+    assert rt["deadline_ms"] == pytest.approx(2.0)  # defaults to period
+
+
+def test_step_report_latencies_are_per_step(step_report):
+    unloaded = step_report["conditions"]["unloaded"]
+    assert unloaded["jobs"] == 12
+    assert unloaded["response_ms"]["count"] == 12
+    # One dmp Euler step is far quicker than a full batch rollout.
+    assert unloaded["roi_ms"]["p50"] < 1.0
+
+
+def test_step_report_tracks_episode_reopening(step_report):
+    unloaded = step_report["conditions"]["unloaded"]
+    steps_per_episode = step_report["rt"]["steps_per_episode"]
+    total_steps = 12 + 2  # measured + warmup jobs, one step each
+    import math
+
+    assert unloaded["episodes"] == math.ceil(total_steps / steps_per_episode)
+    assert 0 < unloaded["last_episode_steps"] <= steps_per_episode
+
+
+def test_step_record_mints_step_measurements(step_report):
+    record = record_from_rt(step_report)
+    unloaded = step_report["conditions"]["unloaded"]
+    assert record.metric("rt.step.p99_ms") == pytest.approx(
+        unloaded["response_ms"]["p99"]
+    )
+    assert record.metric("rt.step.miss_rate") == pytest.approx(
+        unloaded["miss_rate"]
+    )
+    assert record.metric("rt.step.p99_deadline_ratio") == pytest.approx(
+        unloaded["response_ms"]["p99"] / step_report["rt"]["deadline_ms"]
+    )
+    assert record.provenance["granularity"] == "step"
+
+
+def test_run_granularity_records_omit_step_measurements(smoke_report):
+    record = record_from_rt(smoke_report)
+    assert record.metric("rt.step.p99_ms") is None
+    assert record.provenance["granularity"] == "run"
+    # The step gates step aside instead of failing on run-mode records.
+    by_name = _gate_by_name(record)
+    assert by_name["rt.step-miss-rate-ceiling"].status == "skip"
+    assert by_name["rt.step-p99-deadline-ceiling"].status == "skip"
+
+
+def test_step_granularity_calibrates_from_step_times():
+    report = run_rt(
+        "dmp",
+        period_ms=0,
+        jobs=4,
+        warmup=0,
+        smoke=True,
+        granularity="step",
+        **DMP_OVERRIDES,
+    )
+    assert report["rt"]["calibrated"]
+    # Calibration keys off single-step latency, not whole-episode time:
+    # even with headroom it lands far under the ~100x longer batch rollout.
+    assert 0.0 < report["rt"]["period_ms"] < 100.0
+
+
+def test_step_granularity_on_batch_kernel_is_rejected():
+    with pytest.raises(ValueError, match="not steppable"):
+        run_rt("16.bo", jobs=1, smoke=True, granularity="step")
+
+
+def test_unknown_granularity_is_rejected():
+    with pytest.raises(ValueError, match="granularity"):
+        run_rt("dmp", jobs=1, smoke=True, granularity="icp")
+
+
 # -- interference --------------------------------------------------------------
 
 
@@ -238,6 +335,31 @@ def test_cli_rt_smoke_end_to_end(tmp_path, capsys):
     assert "jitter_ms" in unloaded
     assert "miss_rate" in unloaded
     assert report["slo"]["verdict"] in ("pass", "fail")
+
+
+def test_cli_rt_step_granularity_end_to_end(tmp_path, capsys):
+    target = tmp_path / "BENCH_rt_step.json"
+    code = main(
+        [
+            "rt", "dmp", "--smoke", "--granularity", "step",
+            "--jobs", "6", "--warmup", "1",
+            "--period-ms", "2", "--output", str(target),
+            "--demo-steps", "60", "--dt", "0.05", "--basis", "8",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "per-step" in out
+    assert "episodes:" in out
+    document = json.loads(target.read_text())
+    assert document["measurements"]["rt.step.p99_ms"]["value"] > 0.0
+    assert "rt.step.miss_rate" in document["measurements"]
+    assert document["detail"]["rt"]["granularity"] == "step"
+
+
+def test_cli_rt_step_on_batch_kernel_errors(capsys):
+    assert main(["rt", "16.bo", "--smoke", "--granularity", "step"]) == 2
+    assert "not steppable" in capsys.readouterr().err
 
 
 def test_cli_rt_unknown_kernel_errors(capsys):

@@ -8,7 +8,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.rt.scheduler import JobRecord, PeriodicScheduler
+from repro.rt.scheduler import JobOutput, JobRecord, PeriodicScheduler
 
 
 class FakeClock:
@@ -151,6 +151,53 @@ def test_invalid_parameters_raise():
     )
     with pytest.raises(ValueError, match="jobs"):
         scheduler.run(lambda i: None, jobs=0)
+
+
+def test_job_output_meta_lands_on_the_record():
+    clock = FakeClock()
+    scheduler = PeriodicScheduler(
+        period_s=1.0, clock=clock, sleep=clock.sleep
+    )
+    result = scheduler.run(
+        lambda i: JobOutput(value=i * 2, meta={"episode": 0, "step": i}),
+        jobs=3,
+        keep_outputs=True,
+    )
+    # The wrapper is transparent: outputs carry the value, records the meta.
+    assert result.outputs == [0, 2, 4]
+    assert [r.meta for r in result.records] == [
+        {"episode": 0, "step": 0},
+        {"episode": 0, "step": 1},
+        {"episode": 0, "step": 2},
+    ]
+    assert not result.stopped_early
+
+
+def test_plain_outputs_leave_meta_unset():
+    clock = FakeClock()
+    scheduler = PeriodicScheduler(
+        period_s=1.0, clock=clock, sleep=clock.sleep
+    )
+    result = scheduler.run(lambda i: i, jobs=2, keep_outputs=True)
+    assert result.outputs == [0, 1]
+    assert all(r.meta is None for r in result.records)
+
+
+def test_stop_iteration_ends_the_schedule_early():
+    clock = FakeClock()
+    scheduler = PeriodicScheduler(
+        period_s=1.0, clock=clock, sleep=clock.sleep
+    )
+
+    def job(index):
+        if index == 2:
+            raise StopIteration
+        return index
+
+    result = scheduler.run(job, jobs=10, keep_outputs=True)
+    assert result.stopped_early
+    assert result.outputs == [0, 1]
+    assert len(result.records) == 2  # the stopping release leaves no record
 
 
 def test_real_monotonic_clock_smoke():
